@@ -1,0 +1,137 @@
+// Command unidrive is the UniDrive client CLI: it synchronizes a
+// local folder with a multi-cloud of CCS endpoints reachable over the
+// RESTful Web API (e.g. cmd/unicloud instances, or any service
+// wrapped in that API).
+//
+// Usage:
+//
+//	unidrive -folder ./sync -device laptop -passphrase secret \
+//	         -clouds http://localhost:8081,http://localhost:8082,http://localhost:8083 \
+//	         [-kr 2] [-ks 2] [-once] [-interval 30s]
+//
+// Without -once it runs as a daemon, scanning the folder and syncing
+// every -interval.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudhttp"
+	"unidrive/internal/core"
+	"unidrive/internal/localfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "unidrive:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	folderPath := flag.String("folder", "./unidrive-sync", "local sync folder")
+	device := flag.String("device", hostnameDefault(), "unique device name")
+	passphrase := flag.String("passphrase", "", "metadata encryption passphrase (required)")
+	cloudList := flag.String("clouds", "", "comma-separated base URLs of cloud endpoints (required)")
+	k := flag.Int("k", 3, "data blocks per segment")
+	kr := flag.Int("kr", 0, "min reachable clouds that must recover data (default N-2, >=1)")
+	ks := flag.Int("ks", 2, "min breached clouds that may reconstruct data")
+	once := flag.Bool("once", false, "sync once and exit")
+	interval := flag.Duration("interval", 30*time.Second, "sync interval in daemon mode")
+	flag.Parse()
+
+	if *passphrase == "" {
+		return fmt.Errorf("-passphrase is required")
+	}
+	urls := strings.Split(*cloudList, ",")
+	if *cloudList == "" || len(urls) == 0 {
+		return fmt.Errorf("-clouds is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var clouds []cloud.Interface
+	for _, u := range urls {
+		c, err := cloudhttp.Dial(ctx, strings.TrimSpace(u), http.DefaultClient)
+		if err != nil {
+			return fmt.Errorf("dialing %s: %w", u, err)
+		}
+		fmt.Printf("connected to %s (%s)\n", c.Name(), u)
+		clouds = append(clouds, c)
+	}
+
+	folder, err := localfs.NewDir(*folderPath)
+	if err != nil {
+		return err
+	}
+	client, err := core.New(clouds, folder, core.Config{
+		Device:       *device,
+		Passphrase:   *passphrase,
+		K:            *k,
+		Kr:           *kr,
+		Ks:           *ks,
+		SyncInterval: *interval,
+	})
+	if err != nil {
+		return err
+	}
+	if restored, err := client.LoadState(); err == nil && restored {
+		fmt.Println("restored previous sync state")
+	}
+	fmt.Printf("unidrive: device %q, folder %s, %d clouds, params %+v\n",
+		*device, folder.Root(), len(clouds), client.Params())
+
+	syncAndReport := func() error {
+		rep, err := client.SyncOnce(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("sync v%d: %d local changes committed, %d cloud changes applied",
+			rep.Version, rep.LocalChanges, rep.CloudChanges)
+		if rep.Upload.SegmentsUploaded > 0 {
+			fmt.Printf(", %d segments (%d bytes) uploaded, available in %v",
+				rep.Upload.SegmentsUploaded, rep.Upload.BytesUploaded, rep.AvailableDuration.Round(time.Millisecond))
+		}
+		for _, c := range rep.Conflicts {
+			fmt.Printf("\nconflict retained as %q", c)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	if err := syncAndReport(); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+	fmt.Printf("watching %s every %v (ctrl-c to stop)\n", folder.Root(), *interval)
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("unidrive: stopped")
+			return nil
+		case <-time.After(*interval):
+		}
+		if err := syncAndReport(); err != nil {
+			fmt.Fprintln(os.Stderr, "unidrive: sync:", err)
+		}
+	}
+}
+
+func hostnameDefault() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "device"
+}

@@ -1,0 +1,108 @@
+// Resthttp: the full UniDrive stack over REAL HTTP. The program
+// starts five cloud servers (the same handler cmd/unicloud serves) on
+// loopback ports, dials them through the RESTful client, and syncs a
+// folder between two devices — every lock file, metadata blob and
+// coded block crossing an actual TCP connection.
+//
+//	go run ./examples/resthttp
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudhttp"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/core"
+	"unidrive/internal/localfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// Start five cloud servers on ephemeral loopback ports.
+	var urls []string
+	for _, name := range []string{"alpha", "beta", "gamma", "delta", "epsilon"} {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{
+			Handler:           cloudhttp.NewHandler(cloudsim.NewDirect(cloudsim.NewStore(name, 0))),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		url := "http://" + ln.Addr().String()
+		urls = append(urls, url)
+		fmt.Printf("cloud %q serving on %s\n", name, url)
+	}
+
+	dialAll := func() ([]cloud.Interface, error) {
+		var out []cloud.Interface
+		for _, u := range urls {
+			c, err := cloudhttp.Dial(ctx, u, http.DefaultClient)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	}
+
+	// Device A uploads.
+	cloudsA, err := dialAll()
+	if err != nil {
+		return err
+	}
+	folderA := localfs.NewMem()
+	devA, err := core.New(cloudsA, folderA, core.Config{
+		Device: "device-a", Passphrase: "http-demo",
+	})
+	if err != nil {
+		return err
+	}
+	payload := []byte("this content travelled as erasure-coded blocks over real HTTP")
+	if err := folderA.WriteFile("docs/over-the-wire.txt", payload, time.Now()); err != nil {
+		return err
+	}
+	rep, err := devA.SyncOnce(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("device-a committed metadata v%d (%d segment(s) uploaded)\n",
+		rep.Version, rep.Upload.SegmentsUploaded)
+
+	// Device B downloads through its own connections.
+	cloudsB, err := dialAll()
+	if err != nil {
+		return err
+	}
+	folderB := localfs.NewMem()
+	devB, err := core.New(cloudsB, folderB, core.Config{
+		Device: "device-b", Passphrase: "http-demo",
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := devB.SyncOnce(ctx); err != nil {
+		return err
+	}
+	got, err := folderB.ReadFile("docs/over-the-wire.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("device-b read back: %q\n", got)
+	return nil
+}

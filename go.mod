@@ -1,0 +1,3 @@
+module unidrive
+
+go 1.23

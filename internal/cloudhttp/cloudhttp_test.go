@@ -1,0 +1,236 @@
+package cloudhttp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/core"
+	"unidrive/internal/localfs"
+)
+
+// dial starts a REST server over a fresh store and returns a client.
+func dial(t *testing.T, name string) (*Client, *cloudsim.Store) {
+	t.Helper()
+	store := cloudsim.NewStore(name, 0)
+	srv := httptest.NewServer(NewHandler(cloudsim.NewDirect(store)))
+	t.Cleanup(srv.Close)
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, store
+}
+
+func TestDialFetchesName(t *testing.T) {
+	c, _ := dial(t, "clouder")
+	if c.Name() != "clouder" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestUploadDownloadRoundTrip(t *testing.T) {
+	c, _ := dial(t, "c1")
+	data := []byte("over the wire")
+	if err := c.Upload(context.Background(), "dir/file.bin", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Download(context.Background(), "dir/file.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUploadEmptyFile(t *testing.T) {
+	// Lock flag files are empty; the wire format must support them.
+	c, _ := dial(t, "c1")
+	if err := c.Upload(context.Background(), "locks/lock_d_1", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Download(context.Background(), "locks/lock_d_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file came back with %d bytes", len(got))
+	}
+}
+
+func TestDownloadMissingMapsToNotFound(t *testing.T) {
+	c, _ := dial(t, "c1")
+	_, err := c.Download(context.Background(), "ghost")
+	if !errors.Is(err, cloud.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestQuotaMapsAcrossWire(t *testing.T) {
+	store := cloudsim.NewStore("tiny", 4)
+	srv := httptest.NewServer(NewHandler(cloudsim.NewDirect(store)))
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Upload(context.Background(), "big", []byte("more than four"))
+	if !errors.Is(err, cloud.ErrQuotaExceeded) {
+		t.Fatalf("err = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+func TestUnavailableMapsAcrossWire(t *testing.T) {
+	store := cloudsim.NewStore("down", 0)
+	flaky := cloudsim.NewFlaky(cloudsim.NewDirect(store), 0, 1)
+	srv := httptest.NewServer(NewHandler(flaky))
+	defer srv.Close()
+	c, err := Dial(context.Background(), srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky.SetDown(true)
+	if _, err := c.List(context.Background(), ""); !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestListAndCreateDirOverWire(t *testing.T) {
+	c, _ := dial(t, "c1")
+	ctx := context.Background()
+	if err := c.CreateDir(ctx, "a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upload(ctx, "a/file1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := c.List(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("List = %v", entries)
+	}
+	if entries[0].Name != "b" || !entries[0].IsDir {
+		t.Fatalf("entries[0] = %+v", entries[0])
+	}
+	if entries[1].Name != "file1" || entries[1].Size != 1 {
+		t.Fatalf("entries[1] = %+v", entries[1])
+	}
+	// Listing a missing dir is empty, not an error.
+	entries, err = c.List(ctx, "nope")
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("List(nope) = %v, %v", entries, err)
+	}
+}
+
+func TestDeleteOverWire(t *testing.T) {
+	c, store := dial(t, "c1")
+	ctx := context.Background()
+	if err := c.Upload(ctx, "dir/a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Upload(ctx, "dir/b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, "dir"); err != nil {
+		t.Fatal(err)
+	}
+	if store.FileCount() != 0 {
+		t.Fatal("recursive delete over wire failed")
+	}
+	// Deleting a missing path is not an error.
+	if err := c.Delete(ctx, "ghost"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsWithSpecialCharacters(t *testing.T) {
+	c, _ := dial(t, "c1")
+	ctx := context.Background()
+	path := "docs/report (conflicted copy from home-pc).txt"
+	if err := c.Upload(ctx, path, []byte("conflict body")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Download(ctx, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "conflict body" {
+		t.Fatal("special-character path corrupted")
+	}
+}
+
+func TestInvalidPathRejectedClientSide(t *testing.T) {
+	c, _ := dial(t, "c1")
+	if err := c.Upload(context.Background(), "../escape", nil); err == nil {
+		t.Fatal("invalid path accepted")
+	}
+}
+
+func TestDialBadServer(t *testing.T) {
+	if _, err := Dial(context.Background(), "http://127.0.0.1:1", nil); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+// TestFullStackOverHTTP runs the complete UniDrive client through
+// real HTTP servers: the paper's whole design — lock files, metadata,
+// coded blocks — crossing an actual TCP/HTTP boundary.
+func TestFullStackOverHTTP(t *testing.T) {
+	const nClouds = 5
+	var cloudsA, cloudsB []cloud.Interface
+	for i := 0; i < nClouds; i++ {
+		store := cloudsim.NewStore(fmt.Sprintf("http-c%d", i), 0)
+		srv := httptest.NewServer(NewHandler(cloudsim.NewDirect(store)))
+		t.Cleanup(srv.Close)
+		for _, list := range []*[]cloud.Interface{&cloudsA, &cloudsB} {
+			c, err := Dial(context.Background(), srv.URL, srv.Client())
+			if err != nil {
+				t.Fatal(err)
+			}
+			*list = append(*list, c)
+		}
+	}
+	folderA := localfs.NewMem()
+	folderB := localfs.NewMem()
+	a, err := core.New(cloudsA, folderA, core.Config{
+		Device: "laptop", Passphrase: "pw", Theta: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.New(cloudsB, folderB, core.Config{
+		Device: "desktop", Passphrase: "pw", Theta: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	content := bytes.Repeat([]byte("unidrive over http "), 700)
+	if err := folderA.WriteFile("shared/doc.txt", content, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := a.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := folderB.ReadFile("shared/doc.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("content corrupted across the HTTP boundary")
+	}
+}

@@ -1,0 +1,344 @@
+// Package cloudsim provides an in-process consumer cloud storage
+// service used as the substrate for all experiments and tests.
+//
+// A Store is the provider-side state: a flat namespace of files and
+// directories with quota accounting and read-after-write (in fact
+// linearizable) list consistency — a superset of the only consistency
+// guarantee UniDrive's protocols assume (paper §5.2).
+//
+// Clients bind a Store to a vantage point:
+//
+//   - Client routes every call through a netsim.Host, so transfers
+//     cost simulated time and can fail transiently, exactly like the
+//     commercial Web APIs the paper measures.
+//   - Direct performs calls instantly; unit tests of the protocol
+//     layers use it when network shaping is irrelevant.
+//
+// Decorators (Flaky, Recorder) inject faults and observe traffic for
+// tests.
+package cloudsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/netsim"
+)
+
+// Store is the provider-side state of one simulated cloud. It is safe
+// for concurrent use by any number of clients.
+type Store struct {
+	name  string
+	quota int64
+
+	mu    sync.RWMutex
+	files map[string]storedFile
+	dirs  map[string]bool
+	used  int64
+	now   func() time.Time
+}
+
+type storedFile struct {
+	data    []byte
+	modTime time.Time
+}
+
+// NewStore creates a cloud backend with the given provider name and
+// storage quota in bytes. A non-positive quota means unlimited.
+func NewStore(name string, quota int64) *Store {
+	return &Store{
+		name:  name,
+		quota: quota,
+		files: make(map[string]storedFile),
+		dirs:  make(map[string]bool),
+		now:   time.Now,
+	}
+}
+
+// Name returns the provider name.
+func (s *Store) Name() string { return s.name }
+
+// Used reports the bytes currently consumed against the quota.
+func (s *Store) Used() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.used
+}
+
+// FileCount reports the number of stored files.
+func (s *Store) FileCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// put stores data at path, enforcing the quota.
+func (s *Store) put(path string, data []byte) error {
+	if err := cloud.ValidatePath(path); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delta := int64(len(data))
+	if old, ok := s.files[path]; ok {
+		delta -= int64(len(old.data))
+	}
+	if s.quota > 0 && s.used+delta > s.quota {
+		return fmt.Errorf("cloudsim: %s uploading %d bytes to %q: %w",
+			s.name, len(data), path, cloud.ErrQuotaExceeded)
+	}
+	s.files[path] = storedFile{data: append([]byte(nil), data...), modTime: s.now()}
+	s.used += delta
+	// Parent directories exist implicitly.
+	for dir, _ := cloud.SplitPath(path); dir != ""; dir, _ = cloud.SplitPath(dir) {
+		s.dirs[dir] = true
+	}
+	return nil
+}
+
+// get returns a copy of the file at path.
+func (s *Store) get(path string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("cloudsim: %s has no file %q: %w", s.name, path, cloud.ErrNotFound)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// size returns the size of the file at path, used to shape download
+// transfers before moving the bytes.
+func (s *Store) size(path string) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f, ok := s.files[path]
+	if !ok {
+		return 0, fmt.Errorf("cloudsim: %s has no file %q: %w", s.name, path, cloud.ErrNotFound)
+	}
+	return int64(len(f.data)), nil
+}
+
+func (s *Store) mkdir(path string) error {
+	if err := cloud.ValidatePath(path); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for p := path; p != ""; p, _ = cloud.SplitPath(p) {
+		s.dirs[p] = true
+	}
+	return nil
+}
+
+// list returns the direct children of dir (dir may be "" for the
+// root). Listing a missing directory returns an empty slice.
+func (s *Store) list(dir string) ([]cloud.Entry, error) {
+	if dir != "" {
+		if err := cloud.ValidatePath(dir); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	prefix := ""
+	if dir != "" {
+		prefix = dir + "/"
+	}
+	seen := make(map[string]cloud.Entry)
+	for path, f := range s.files {
+		if !strings.HasPrefix(path, prefix) {
+			continue
+		}
+		rest := path[len(prefix):]
+		if rest == "" {
+			continue
+		}
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			name := rest[:i]
+			seen[name] = cloud.Entry{Name: name, IsDir: true}
+		} else {
+			seen[rest] = cloud.Entry{Name: rest, Size: int64(len(f.data)), ModTime: f.modTime}
+		}
+	}
+	for d := range s.dirs {
+		if !strings.HasPrefix(d, prefix) {
+			continue
+		}
+		rest := d[len(prefix):]
+		if rest == "" || strings.ContainsRune(rest, '/') {
+			continue
+		}
+		if _, ok := seen[rest]; !ok {
+			seen[rest] = cloud.Entry{Name: rest, IsDir: true}
+		}
+	}
+	out := make([]cloud.Entry, 0, len(seen))
+	for _, e := range seen {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// remove deletes the file or directory subtree at path. Missing paths
+// are not an error.
+func (s *Store) remove(path string) error {
+	if err := cloud.ValidatePath(path); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[path]; ok {
+		s.used -= int64(len(f.data))
+		delete(s.files, path)
+	}
+	prefix := path + "/"
+	for p, f := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			s.used -= int64(len(f.data))
+			delete(s.files, p)
+		}
+	}
+	delete(s.dirs, path)
+	for d := range s.dirs {
+		if strings.HasPrefix(d, prefix) {
+			delete(s.dirs, d)
+		}
+	}
+	return nil
+}
+
+// listSize estimates the response payload of a List call, used to
+// shape and meter the request. Roughly the JSON encoding cost.
+func (s *Store) listSize(dir string) int64 {
+	entries, err := s.list(dir)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, e := range entries {
+		n += int64(len(e.Name)) + 64
+	}
+	return n
+}
+
+// Client is a cloud.Interface whose calls are shaped by a
+// netsim.Host: every request pays API latency, transfers at the
+// modeled bandwidth, and may fail transiently. One Client corresponds
+// to one device's connector to one cloud (the paper's "storage cloud
+// object").
+type Client struct {
+	store *Store
+	host  *netsim.Host
+}
+
+var _ cloud.Interface = (*Client)(nil)
+
+// NewClient binds store to the vantage point host.
+func NewClient(store *Store, host *netsim.Host) *Client {
+	return &Client{store: store, host: host}
+}
+
+// Name returns the provider name.
+func (c *Client) Name() string { return c.store.Name() }
+
+// Host returns the netsim host used by this client, exposing its
+// traffic meters to the overhead experiments.
+func (c *Client) Host() *netsim.Host { return c.host }
+
+// Upload implements cloud.Interface.
+func (c *Client) Upload(ctx context.Context, path string, data []byte) error {
+	if err := cloud.ValidatePath(path); err != nil {
+		return err
+	}
+	if err := c.host.Do(ctx, c.store.Name(), netsim.Upload, int64(len(data))); err != nil {
+		return fmt.Errorf("upload %q: %w", path, err)
+	}
+	return c.store.put(path, data)
+}
+
+// Download implements cloud.Interface.
+func (c *Client) Download(ctx context.Context, path string) ([]byte, error) {
+	size, err := c.store.size(path)
+	if err != nil {
+		// Even a 404 costs a round trip.
+		if doErr := c.host.Do(ctx, c.store.Name(), netsim.Download, 0); doErr != nil {
+			return nil, fmt.Errorf("download %q: %w", path, doErr)
+		}
+		return nil, err
+	}
+	if err := c.host.Do(ctx, c.store.Name(), netsim.Download, size); err != nil {
+		return nil, fmt.Errorf("download %q: %w", path, err)
+	}
+	return c.store.get(path)
+}
+
+// CreateDir implements cloud.Interface.
+func (c *Client) CreateDir(ctx context.Context, path string) error {
+	if err := c.host.Do(ctx, c.store.Name(), netsim.Upload, 0); err != nil {
+		return fmt.Errorf("createdir %q: %w", path, err)
+	}
+	return c.store.mkdir(path)
+}
+
+// List implements cloud.Interface.
+func (c *Client) List(ctx context.Context, path string) ([]cloud.Entry, error) {
+	if err := c.host.Do(ctx, c.store.Name(), netsim.Download, c.store.listSize(path)); err != nil {
+		return nil, fmt.Errorf("list %q: %w", path, err)
+	}
+	return c.store.list(path)
+}
+
+// Delete implements cloud.Interface.
+func (c *Client) Delete(ctx context.Context, path string) error {
+	if err := c.host.Do(ctx, c.store.Name(), netsim.Upload, 0); err != nil {
+		return fmt.Errorf("delete %q: %w", path, err)
+	}
+	return c.store.remove(path)
+}
+
+// Direct is a cloud.Interface that performs Store operations
+// instantly, with no network model. Protocol-layer unit tests use it
+// for speed and determinism.
+type Direct struct {
+	store *Store
+}
+
+var _ cloud.Interface = (*Direct)(nil)
+
+// NewDirect returns an unshaped client for store.
+func NewDirect(store *Store) *Direct { return &Direct{store: store} }
+
+// Name returns the provider name.
+func (d *Direct) Name() string { return d.store.Name() }
+
+// Upload implements cloud.Interface.
+func (d *Direct) Upload(_ context.Context, path string, data []byte) error {
+	return d.store.put(path, data)
+}
+
+// Download implements cloud.Interface.
+func (d *Direct) Download(_ context.Context, path string) ([]byte, error) {
+	return d.store.get(path)
+}
+
+// CreateDir implements cloud.Interface.
+func (d *Direct) CreateDir(_ context.Context, path string) error {
+	return d.store.mkdir(path)
+}
+
+// List implements cloud.Interface.
+func (d *Direct) List(_ context.Context, path string) ([]cloud.Entry, error) {
+	return d.store.list(path)
+}
+
+// Delete implements cloud.Interface.
+func (d *Direct) Delete(_ context.Context, path string) error {
+	return d.store.remove(path)
+}

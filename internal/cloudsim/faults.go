@@ -1,0 +1,244 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"unidrive/internal/cloud"
+)
+
+// Flaky wraps a cloud.Interface and makes each call fail transiently
+// with a fixed probability. Tests use it to exercise retry paths and
+// the lock protocol's failure handling without the full netsim model.
+type Flaky struct {
+	inner cloud.Interface
+	prob  float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// down simulates a full outage when set.
+	down bool
+}
+
+var _ cloud.Interface = (*Flaky)(nil)
+
+// NewFlaky wraps inner so each call fails with probability prob.
+func NewFlaky(inner cloud.Interface, prob float64, seed int64) *Flaky {
+	return &Flaky{inner: inner, prob: prob, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetDown switches the wrapped cloud into (or out of) a full outage.
+func (f *Flaky) SetDown(down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = down
+}
+
+func (f *Flaky) fail(op string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrUnavailable)
+	}
+	if f.rng.Float64() < f.prob {
+		return fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrTransient)
+	}
+	return nil
+}
+
+// Name implements cloud.Interface.
+func (f *Flaky) Name() string { return f.inner.Name() }
+
+// Upload implements cloud.Interface.
+func (f *Flaky) Upload(ctx context.Context, path string, data []byte) error {
+	if err := f.fail("upload"); err != nil {
+		return err
+	}
+	return f.inner.Upload(ctx, path, data)
+}
+
+// Download implements cloud.Interface.
+func (f *Flaky) Download(ctx context.Context, path string) ([]byte, error) {
+	if err := f.fail("download"); err != nil {
+		return nil, err
+	}
+	return f.inner.Download(ctx, path)
+}
+
+// CreateDir implements cloud.Interface.
+func (f *Flaky) CreateDir(ctx context.Context, path string) error {
+	if err := f.fail("createdir"); err != nil {
+		return err
+	}
+	return f.inner.CreateDir(ctx, path)
+}
+
+// List implements cloud.Interface.
+func (f *Flaky) List(ctx context.Context, path string) ([]cloud.Entry, error) {
+	if err := f.fail("list"); err != nil {
+		return nil, err
+	}
+	return f.inner.List(ctx, path)
+}
+
+// Delete implements cloud.Interface.
+func (f *Flaky) Delete(ctx context.Context, path string) error {
+	if err := f.fail("delete"); err != nil {
+		return err
+	}
+	return f.inner.Delete(ctx, path)
+}
+
+// CallCounts tallies API calls per operation, recorded by Recorder.
+type CallCounts struct {
+	Upload, Download, CreateDir, List, Delete int
+}
+
+// Total returns the sum of all operation counts.
+func (c CallCounts) Total() int {
+	return c.Upload + c.Download + c.CreateDir + c.List + c.Delete
+}
+
+// Recorder wraps a cloud.Interface and counts calls and payload
+// bytes; tests and the overhead accounting use it to verify protocol
+// frugality (e.g. that the version-file fast path avoids metadata
+// downloads).
+type Recorder struct {
+	inner cloud.Interface
+
+	mu            sync.Mutex
+	counts        CallCounts
+	failures      CallCounts
+	bytesUp       int64
+	bytesDown     int64
+	uploadedPaths []string
+	uploadedSizes []int64
+}
+
+var _ cloud.Interface = (*Recorder)(nil)
+
+// NewRecorder wraps inner with call accounting.
+func NewRecorder(inner cloud.Interface) *Recorder {
+	return &Recorder{inner: inner}
+}
+
+// Counts returns a snapshot of the per-operation call counts.
+func (r *Recorder) Counts() CallCounts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts
+}
+
+// Bytes returns the cumulative uploaded and downloaded payload bytes.
+func (r *Recorder) Bytes() (up, down int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytesUp, r.bytesDown
+}
+
+// UploadedPaths returns the paths passed to Upload, in order.
+func (r *Recorder) UploadedPaths() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.uploadedPaths...)
+}
+
+// PrefixUploadBytes returns the payload bytes uploaded to paths with
+// the given prefix — the traffic-overhead experiments use it to
+// separate data-plane payload from protocol traffic.
+func (r *Recorder) PrefixUploadBytes(prefix string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for i, p := range r.uploadedPaths {
+		if strings.HasPrefix(p, prefix) {
+			total += r.uploadedSizes[i]
+		}
+	}
+	return total
+}
+
+// FailureCounts returns per-operation counts of failed calls
+// (transient or outage errors from the wrapped cloud).
+func (r *Recorder) FailureCounts() CallCounts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failures
+}
+
+// Name implements cloud.Interface.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// noteFailure counts network-class errors for availability stats.
+func (r *Recorder) noteFailure(err error, bump func(*CallCounts)) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, cloud.ErrTransient) || errors.Is(err, cloud.ErrUnavailable) {
+		r.mu.Lock()
+		bump(&r.failures)
+		r.mu.Unlock()
+	}
+}
+
+// Upload implements cloud.Interface. Payload bytes and paths are
+// recorded only for successful uploads, so retried attempts do not
+// inflate the payload accounting.
+func (r *Recorder) Upload(ctx context.Context, path string, data []byte) error {
+	r.mu.Lock()
+	r.counts.Upload++
+	r.mu.Unlock()
+	err := r.inner.Upload(ctx, path, data)
+	if err == nil {
+		r.mu.Lock()
+		r.bytesUp += int64(len(data))
+		r.uploadedPaths = append(r.uploadedPaths, path)
+		r.uploadedSizes = append(r.uploadedSizes, int64(len(data)))
+		r.mu.Unlock()
+	}
+	r.noteFailure(err, func(c *CallCounts) { c.Upload++ })
+	return err
+}
+
+// Download implements cloud.Interface.
+func (r *Recorder) Download(ctx context.Context, path string) ([]byte, error) {
+	r.mu.Lock()
+	r.counts.Download++
+	r.mu.Unlock()
+	data, err := r.inner.Download(ctx, path)
+	if err == nil {
+		r.mu.Lock()
+		r.bytesDown += int64(len(data))
+		r.mu.Unlock()
+	}
+	r.noteFailure(err, func(c *CallCounts) { c.Download++ })
+	return data, err
+}
+
+// CreateDir implements cloud.Interface.
+func (r *Recorder) CreateDir(ctx context.Context, path string) error {
+	r.mu.Lock()
+	r.counts.CreateDir++
+	r.mu.Unlock()
+	return r.inner.CreateDir(ctx, path)
+}
+
+// List implements cloud.Interface.
+func (r *Recorder) List(ctx context.Context, path string) ([]cloud.Entry, error) {
+	r.mu.Lock()
+	r.counts.List++
+	r.mu.Unlock()
+	return r.inner.List(ctx, path)
+}
+
+// Delete implements cloud.Interface.
+func (r *Recorder) Delete(ctx context.Context, path string) error {
+	r.mu.Lock()
+	r.counts.Delete++
+	r.mu.Unlock()
+	return r.inner.Delete(ctx, path)
+}

@@ -1,0 +1,293 @@
+// Package core is UniDrive itself: the consumer-cloud-storage client
+// that synergizes multiple CCSs into one synchronized folder (paper
+// §4–§6).
+//
+// A Client owns one local sync folder and a set of clouds reachable
+// only through the five public Web APIs. Per the paper's server-less,
+// client-centric design, everything — metadata replication, locking,
+// update signalling — happens via file uploads and downloads issued
+// from the client:
+//
+//   - local edits are detected by a folder scanner and recorded in
+//     the ChangedFileList;
+//   - file content is cut into content-defined segments (dedup via
+//     the reference-counted segment pool), erasure coded with a
+//     non-systematic Reed–Solomon code, and the coded blocks are
+//     spread over the clouds by the dynamic upload scheduler with
+//     over-provisioning;
+//   - metadata (the SyncFolderImage) is committed under the
+//     quorum-file lock through the base+delta store and propagated
+//     to other devices, which apply it by downloading any K blocks
+//     per segment from the fastest clouds.
+//
+// Conflicting concurrent updates are retained as conflict-copy files
+// (the paper's "retain both updates" policy, materialized the way
+// commercial sync clients do).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"unidrive/internal/chunker"
+	"unidrive/internal/cloud"
+	"unidrive/internal/deltasync"
+	"unidrive/internal/erasure"
+	"unidrive/internal/localfs"
+	"unidrive/internal/meta"
+	"unidrive/internal/metacrypt"
+	"unidrive/internal/qlock"
+	"unidrive/internal/sched"
+	"unidrive/internal/transfer"
+	"unidrive/internal/vclock"
+)
+
+// DefaultTheta is the paper's segment-size target θ (4 MB), which
+// with k=3 yields the 1–2 MB block size the measurement study found
+// optimal.
+const DefaultTheta = 4 << 20
+
+// Config parametrizes a UniDrive client.
+type Config struct {
+	// Device is this device's unique name.
+	Device string
+	// Passphrase derives the metadata encryption key; it must be the
+	// same on all of the user's devices.
+	Passphrase string
+	// CipherAlg selects the metadata cipher; defaults to DES, as in
+	// the paper.
+	CipherAlg metacrypt.Algorithm
+	// K, Kr, Ks are the coding and placement parameters (paper §6.1);
+	// N is always the number of clouds passed to New. Defaults:
+	// K=3, Kr=max(1,N-2) capped at N, Ks=min(2,Kr).
+	K, Kr, Ks int
+	// Theta is the content-defined segmentation target size.
+	Theta int
+	// ConnsPerCloud bounds concurrent transfers per cloud (paper
+	// uses 5).
+	ConnsPerCloud int
+	// SyncInterval is τ, the period of the background sync loop.
+	SyncInterval time.Duration
+	// Clock paces all waiting (lock refresh, retries, sync loop).
+	Clock vclock.Clock
+	// LockExpiry is the lock-breaking threshold ΔT.
+	LockExpiry time.Duration
+}
+
+func (c *Config) fillDefaults(n int) {
+	if c.CipherAlg == 0 {
+		c.CipherAlg = metacrypt.DES
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.Kr <= 0 {
+		c.Kr = n - 2
+		if c.Kr < 1 {
+			c.Kr = 1
+		}
+	}
+	if c.Kr > n {
+		c.Kr = n
+	}
+	if c.Ks <= 0 {
+		c.Ks = 2
+	}
+	if c.Ks > c.Kr {
+		c.Ks = c.Kr
+	}
+	if c.Theta <= 0 {
+		c.Theta = DefaultTheta
+	}
+	if c.ConnsPerCloud <= 0 {
+		c.ConnsPerCloud = transfer.DefaultConnsPerCloud
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+	if c.LockExpiry <= 0 {
+		c.LockExpiry = qlock.DefaultExpiry
+	}
+}
+
+// Client is one device's UniDrive instance.
+type Client struct {
+	cfg    Config
+	params sched.Params
+
+	clouds  []cloud.Interface
+	names   []string
+	folder  localfs.Folder
+	scanner *localfs.Scanner
+	chnk    *chunker.Chunker
+	engine  *transfer.Engine
+	store   *deltasync.Store
+	locks   *qlock.Manager
+	changes *meta.ChangedFileList
+
+	mu sync.Mutex
+	// last is the device's view of the committed metadata (the
+	// algorithm's v_o).
+	last *meta.Image
+	// segData caches content of segments pending upload.
+	segData map[string][]byte
+	// coders caches erasure coders by (k, n).
+	coders map[[2]int]*erasure.Coder
+	// conflicts accumulates detected conflicts for the user.
+	conflicts []string
+}
+
+// New creates a UniDrive client over the given clouds and local
+// folder. The clouds' Name()s are the Cloud-IDs recorded in metadata
+// and must be stable across devices and restarts.
+func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, error) {
+	if len(clouds) < 1 {
+		return nil, fmt.Errorf("core: need at least one cloud")
+	}
+	if cfg.Device == "" {
+		return nil, fmt.Errorf("core: empty device name")
+	}
+	if cfg.Passphrase == "" {
+		return nil, fmt.Errorf("core: empty passphrase")
+	}
+	cfg.fillDefaults(len(clouds))
+	params := sched.Params{N: len(clouds), K: cfg.K, Kr: cfg.Kr, Ks: cfg.Ks}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	cipher, err := metacrypt.New(cfg.CipherAlg, cfg.Passphrase)
+	if err != nil {
+		return nil, err
+	}
+	chnk, err := chunker.New(cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(clouds))
+	for i, c := range clouds {
+		names[i] = c.Name()
+	}
+	sort.Strings(names)
+	// Every cloud is wrapped so that ALL traffic — version checks,
+	// metadata, lock flags, blocks — doubles as an in-channel
+	// bandwidth probe (paper §6.2). Control-plane calls touch every
+	// cloud early, so the schedulers have a throughput ranking before
+	// the first data block moves.
+	prober := sched.NewProber(0)
+	probed := make([]cloud.Interface, len(clouds))
+	for i, c := range clouds {
+		probed[i] = transfer.NewProbing(c, prober, cfg.Clock)
+	}
+	cl := &Client{
+		cfg:     cfg,
+		params:  params,
+		clouds:  probed,
+		names:   names,
+		folder:  folder,
+		scanner: localfs.NewScanner(folder),
+		chnk:    chnk,
+		engine: transfer.New(probed, prober, transfer.Config{
+			ConnsPerCloud: cfg.ConnsPerCloud,
+			Clock:         cfg.Clock,
+		}),
+		store: deltasync.New(probed, cipher, deltasync.Config{Device: cfg.Device}),
+		locks: qlock.New(probed, qlock.Config{
+			Device: cfg.Device,
+			Expiry: cfg.LockExpiry,
+			Clock:  cfg.Clock,
+		}),
+		changes: meta.NewChangedFileList(),
+		last:    meta.NewImage(),
+		segData: make(map[string][]byte),
+		coders:  make(map[[2]int]*erasure.Coder),
+	}
+	return cl, nil
+}
+
+// Params returns the client's placement parameters.
+func (c *Client) Params() sched.Params { return c.params }
+
+// Device returns the device name.
+func (c *Client) Device() string { return c.cfg.Device }
+
+// Engine exposes the transfer engine (prober statistics etc.).
+func (c *Client) Engine() *transfer.Engine { return c.engine }
+
+// Image returns a deep copy of the device's current view of the
+// committed metadata.
+func (c *Client) Image() *meta.Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last.Clone()
+}
+
+// Conflicts returns the conflict-copy paths created so far, oldest
+// first.
+func (c *Client) Conflicts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.conflicts...)
+}
+
+// coder returns (building if needed) the erasure coder for a segment
+// with the given k and n.
+func (c *Client) coder(k, n int) (*erasure.Coder, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [2]int{k, n}
+	if cd, ok := c.coders[key]; ok {
+		return cd, nil
+	}
+	cd, err := erasure.NewCoder(k, n)
+	if err != nil {
+		return nil, err
+	}
+	c.coders[key] = cd
+	return cd, nil
+}
+
+func (c *Client) setLast(img *meta.Image) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last = img
+}
+
+func (c *Client) lastImage() *meta.Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+func (c *Client) cacheSegment(id string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.segData[id]; !ok {
+		c.segData[id] = data
+	}
+}
+
+func (c *Client) cachedSegment(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.segData[id]
+	return d, ok
+}
+
+func (c *Client) dropSegmentCache(ids []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range ids {
+		delete(c.segData, id)
+	}
+}
+
+func (c *Client) noteConflict(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conflicts = append(c.conflicts, path)
+}

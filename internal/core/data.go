@@ -1,0 +1,374 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"unidrive/internal/localfs"
+	"unidrive/internal/meta"
+	"unidrive/internal/sched"
+	"unidrive/internal/transfer"
+)
+
+// chunkFile cuts a file's content into segments, caches their bytes
+// for upload, and returns the snapshot plus pool records for any
+// segments that still need uploading (a segment already holding
+// enough blocks in the committed pool deduplicates away).
+func (c *Client) chunkFile(info localfs.FileInfo, data []byte) (*meta.Snapshot, []*meta.Segment) {
+	segs := c.chnk.Split(data)
+	snap := &meta.Snapshot{
+		Path:    info.Path,
+		Size:    int64(len(data)),
+		ModTime: info.ModTime,
+		Device:  c.cfg.Device,
+	}
+	var records []*meta.Segment
+	known := c.lastImage()
+	for _, s := range segs {
+		id := s.ID()
+		snap.SegmentIDs = append(snap.SegmentIDs, id)
+		// Copy: chunker segments alias the file buffer.
+		c.cacheSegment(id, append([]byte(nil), s.Data...))
+		if existing, ok := known.Segments[id]; ok && len(existing.Blocks) >= c.params.K {
+			// Dedup: content already in the multi-cloud.
+			records = append(records, existing.Clone())
+			continue
+		}
+		records = append(records, &meta.Segment{
+			ID:     id,
+			Length: len(s.Data),
+			K:      c.params.K,
+			N:      c.params.CodeN(),
+		})
+	}
+	return snap, records
+}
+
+// uploadOutcome summarizes one batch upload.
+type uploadOutcome struct {
+	// SegmentsUploaded counts segments that actually moved (dedup
+	// hits do not).
+	SegmentsUploaded int
+	// BytesUploaded is pre-coding content bytes of uploaded segments.
+	BytesUploaded int64
+	// OverProvisioned counts extra parity blocks uploaded.
+	OverProvisioned int
+}
+
+// uploadSession carries the still-running upload plans between the
+// availability phase (before the first metadata commit) and the
+// reliability phase (after it).
+type uploadSession struct {
+	plans []sessionSegment
+	// availAt is the simulated instant every segment of the batch
+	// became available (K blocks each in the multi-cloud).
+	availAt time.Time
+}
+
+type sessionSegment struct {
+	seg  *meta.Segment
+	plan *sched.UploadPlan
+	src  transfer.BlockSource
+}
+
+func (s *uploadSession) items() []transfer.UploadItem {
+	items := make([]transfer.UploadItem, len(s.plans))
+	for i, p := range s.plans {
+		items[i] = transfer.UploadItem{Plan: p.plan, SegID: p.seg.ID, Src: p.src}
+	}
+	return items
+}
+
+// uploadAvailability runs the paper's availability-first phase: each
+// changed file's segments are uploaded, in order, just until K blocks
+// of each are in the multi-cloud ("all networking resources are
+// immediately assigned to the next file"). Current placements are
+// written into the change records so metadata can be committed — the
+// files are usable from this moment; reliability is topped up
+// afterwards (see uploadReliability), with further placements
+// committed asynchronously, as the paper's callback-updated Cloud-ID
+// fields are.
+func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change) (*uploadSession, uploadOutcome, error) {
+	var out uploadOutcome
+	session := &uploadSession{availAt: c.cfg.Clock.Now()}
+	seen := make(map[string]bool)
+	for _, ch := range changes {
+		if ch.Type != meta.ChangeAdd && ch.Type != meta.ChangeEdit {
+			continue
+		}
+		for _, seg := range ch.Segments {
+			if len(seg.Blocks) >= c.params.K || seen[seg.ID] {
+				continue // already available (dedup or earlier file)
+			}
+			src, err := c.blockSource(seg)
+			if err != nil {
+				return nil, out, err
+			}
+			plan, err := sched.NewUploadPlan(c.params, c.names)
+			if err != nil {
+				return nil, out, err
+			}
+			seen[seg.ID] = true
+			session.plans = append(session.plans, sessionSegment{seg: seg, plan: plan, src: src})
+			out.SegmentsUploaded++
+			out.BytesUploaded += int64(seg.Length)
+		}
+	}
+	if len(session.plans) > 0 {
+		// One pipelined batch, availability-first in file order: the
+		// dispatcher returns (and timestamps) the moment every
+		// segment has K blocks up, draining stragglers afterwards.
+		allAvailable := func() bool {
+			for _, p := range session.plans {
+				if !p.plan.Available() {
+					return false
+				}
+			}
+			return true
+		}
+		availAt, err := c.engine.UploadBatch(ctx, session.items(), allAvailable)
+		if err != nil {
+			return nil, out, err
+		}
+		session.availAt = availAt
+		for _, p := range session.plans {
+			if !p.plan.Available() {
+				return nil, out, fmt.Errorf("core: segment %s could not reach availability (%d/%d blocks)",
+					p.seg.ID, len(p.plan.UploadedBlocks()), c.params.K)
+			}
+		}
+	}
+	// Record the availability placements into every change that
+	// references an uploaded segment.
+	placements := make(map[string]map[int]string, len(session.plans))
+	for _, p := range session.plans {
+		placements[p.seg.ID] = p.plan.Placement()
+	}
+	for _, ch := range changes {
+		for _, seg := range ch.Segments {
+			pl, ok := placements[seg.ID]
+			if !ok {
+				continue
+			}
+			seg.Blocks = seg.Blocks[:0]
+			for blockID, cloudName := range pl {
+				seg.AddBlock(blockID, cloudName)
+			}
+		}
+	}
+	return session, out, nil
+}
+
+// uploadReliability runs the reliability-second phase: every segment
+// of the session continues until each live cloud holds its fair
+// share, over-provisioning extra parity blocks to fast clouds along
+// the way. It returns relocate changes carrying the final placements
+// for a follow-up metadata commit (nil when nothing moved beyond the
+// already-committed availability placement).
+func (c *Client) uploadReliability(ctx context.Context, session *uploadSession) ([]*meta.Change, int, error) {
+	committed := make([]int, len(session.plans))
+	for i, p := range session.plans {
+		committed[i] = len(p.plan.UploadedBlocks())
+	}
+	if len(session.plans) > 0 {
+		if _, err := c.engine.UploadBatch(ctx, session.items(), nil); err != nil {
+			return nil, 0, err
+		}
+	}
+	var relocates []*meta.Change
+	overProvisioned := 0
+	for i, p := range session.plans {
+		overProvisioned += p.plan.OverProvisioned()
+		placement := p.plan.Placement()
+		if len(placement) == committed[i] {
+			continue // nothing new to record
+		}
+		updated := p.seg.Clone()
+		updated.Blocks = nil
+		for blockID, cloudName := range placement {
+			updated.AddBlock(blockID, cloudName)
+		}
+		relocates = append(relocates, &meta.Change{
+			Type: meta.ChangeRelocate, Path: updated.ID,
+			Segments: []*meta.Segment{updated},
+		})
+	}
+	return relocates, overProvisioned, nil
+}
+
+// uploadSegmentAvailable uploads one segment until it is available
+// (K blocks in the multi-cloud), returning the still-running plan for
+// the reliability phase.
+func (c *Client) uploadSegmentAvailable(ctx context.Context, seg *meta.Segment, src transfer.BlockSource) (*sched.UploadPlan, error) {
+	plan, err := sched.NewUploadPlan(c.params, c.names)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.engine.UploadSegment(ctx, plan, seg.ID, src, plan.Available); err != nil {
+		return nil, err
+	}
+	if !plan.Available() {
+		return nil, fmt.Errorf("core: segment %s could not reach availability (%d/%d blocks)",
+			seg.ID, len(plan.UploadedBlocks()), c.params.K)
+	}
+	return plan, nil
+}
+
+// blockSource builds the engine's block supplier for a segment from
+// the cached content. The normal parity blocks are encoded once, in
+// bulk, on first use (the paper generates them in advance);
+// over-provisioned parity blocks are generated on demand and
+// memoized, since a failed extra may be re-requested.
+func (c *Client) blockSource(seg *meta.Segment) (transfer.BlockSource, error) {
+	data, ok := c.cachedSegment(seg.ID)
+	if !ok {
+		return nil, fmt.Errorf("core: no cached content for segment %s", seg.ID)
+	}
+	coder, err := c.coder(seg.K, seg.N)
+	if err != nil {
+		return nil, err
+	}
+	normalCount := c.params.NormalBlocks()
+	if normalCount > seg.N {
+		normalCount = seg.N
+	}
+	var mu sync.Mutex
+	var normals [][]byte
+	extras := make(map[int][]byte)
+	return func(blockID int) ([]byte, error) {
+		if blockID < 0 || blockID >= seg.N {
+			return nil, fmt.Errorf("core: block %d outside code n=%d", blockID, seg.N)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if blockID < normalCount {
+			if normals == nil {
+				ids := make([]int, normalCount)
+				for i := range ids {
+					ids[i] = i
+				}
+				normals = coder.EncodeBlocks(data, ids)
+			}
+			return normals[blockID], nil
+		}
+		if b, ok := extras[blockID]; ok {
+			return b, nil
+		}
+		b := coder.EncodeBlocks(data, []int{blockID})[0]
+		extras[blockID] = b
+		return b, nil
+	}, nil
+}
+
+// fetchSegment downloads and decodes one segment from the
+// multi-cloud.
+func (c *Client) fetchSegment(ctx context.Context, seg *meta.Segment) ([]byte, error) {
+	if data, ok := c.cachedSegment(seg.ID); ok {
+		return data, nil
+	}
+	locations := make(map[int][]string, len(seg.Blocks))
+	for _, b := range seg.Blocks {
+		locations[b.BlockID] = append(locations[b.BlockID], b.CloudID)
+	}
+	plan, err := sched.NewDownloadPlan(seg.K, locations)
+	if err != nil {
+		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
+	}
+	blocks, err := c.engine.DownloadSegment(ctx, plan, seg.ID)
+	if err != nil {
+		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
+	}
+	coder, err := c.coder(seg.K, seg.N)
+	if err != nil {
+		return nil, err
+	}
+	data, err := coder.Decode(blocks, seg.Length)
+	if err != nil {
+		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
+	}
+	return data, nil
+}
+
+// fetchFile reconstructs a file's content from a snapshot, in the
+// given image's segment pool. All of the file's segments download
+// through one batched dispatcher, so every cloud connection stays
+// busy instead of the fetch serializing segment by segment.
+func (c *Client) fetchFile(ctx context.Context, img *meta.Image, snap *meta.Snapshot) ([]byte, error) {
+	type part struct {
+		seg  *meta.Segment
+		data []byte // non-nil when served from the local cache
+		item int    // batch index when data is nil
+	}
+	parts := make([]part, len(snap.SegmentIDs))
+	var items []transfer.DownloadItem
+	var plans []*sched.DownloadPlan
+	for i, id := range snap.SegmentIDs {
+		seg, ok := img.Segments[id]
+		if !ok {
+			return nil, fmt.Errorf("core: file %s references unknown segment %s", snap.Path, id)
+		}
+		parts[i].seg = seg
+		if data, ok := c.cachedSegment(id); ok {
+			parts[i].data = data
+			continue
+		}
+		locations := make(map[int][]string, len(seg.Blocks))
+		for _, b := range seg.Blocks {
+			locations[b.BlockID] = append(locations[b.BlockID], b.CloudID)
+		}
+		plan, err := sched.NewDownloadPlan(seg.K, locations)
+		if err != nil {
+			return nil, fmt.Errorf("core: segment %s: %w", id, err)
+		}
+		parts[i].item = len(items)
+		items = append(items, transfer.DownloadItem{Plan: plan, SegID: id})
+		plans = append(plans, plan)
+	}
+	var fetched []map[int][]byte
+	if len(items) > 0 {
+		var err error
+		fetched, err = c.engine.DownloadBatch(ctx, items)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]byte, 0, snap.Size)
+	for i := range parts {
+		if parts[i].data != nil {
+			out = append(out, parts[i].data...)
+			continue
+		}
+		seg := parts[i].seg
+		if !plans[parts[i].item].Done() {
+			return nil, fmt.Errorf("core: segment %s: %w", seg.ID, transfer.ErrSegmentUnrecoverable)
+		}
+		coder, err := c.coder(seg.K, seg.N)
+		if err != nil {
+			return nil, err
+		}
+		data, err := coder.Decode(fetched[parts[i].item], seg.Length)
+		if err != nil {
+			return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Get downloads one file's current content directly from the
+// multi-cloud using the committed metadata — the library's
+// random-access read API (used by the reliability experiments; normal
+// sync flows write files into the folder instead).
+func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	snap := img.Lookup(path).Current()
+	if snap == nil || snap.Deleted {
+		return nil, fmt.Errorf("core: %s not in the sync folder image", path)
+	}
+	return c.fetchFile(ctx, img, snap)
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/core"
+	"unidrive/internal/localfs"
+)
+
+// Example shows the minimal UniDrive flow: one device syncing a file
+// into three clouds, a second device receiving it.
+func Example() {
+	// Three independent simulated providers (production code would
+	// use cloudhttp.Dial against real Web API endpoints).
+	stores := []*cloudsim.Store{
+		cloudsim.NewStore("alpha", 0),
+		cloudsim.NewStore("beta", 0),
+		cloudsim.NewStore("gamma", 0),
+	}
+	connect := func() []cloud.Interface {
+		var out []cloud.Interface
+		for _, s := range stores {
+			out = append(out, cloudsim.NewDirect(s))
+		}
+		return out
+	}
+
+	laptopFolder := localfs.NewMem()
+	laptop, err := core.New(connect(), laptopFolder, core.Config{
+		Device: "laptop", Passphrase: "example", Kr: 2, Ks: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	desktopFolder := localfs.NewMem()
+	desktop, err := core.New(connect(), desktopFolder, core.Config{
+		Device: "desktop", Passphrase: "example", Kr: 2, Ks: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	if err := laptopFolder.WriteFile("hello.txt", []byte("hi!"), time.Unix(1, 0)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := laptop.SyncOnce(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := desktop.SyncOnce(ctx); err != nil {
+		log.Fatal(err)
+	}
+	data, err := desktopFolder.ReadFile("hello.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("desktop sees: %s\n", data)
+	// Output: desktop sees: hi!
+}

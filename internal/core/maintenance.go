@@ -1,0 +1,191 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"unidrive/internal/meta"
+)
+
+// TrimOverProvisioned reclaims over-provisioned parity blocks,
+// trimming every segment back to each cloud's fair share (paper §6.2:
+// "over-provisioned parity blocks will be cleaned to reclaim storage
+// space when the corresponding file is sync'ed to all devices").
+//
+// The trim runs under the quorum lock and commits the reduced
+// placements, so other devices stop advertising the reclaimed blocks.
+// Deciding WHEN all devices have synced is the caller's policy (the
+// clouds cannot tell UniDrive how many devices exist); a typical
+// daemon trims during idle periods.
+//
+// It returns the number of blocks deleted.
+func (c *Client) TrimOverProvisioned(ctx context.Context) (int, error) {
+	lock, err := c.locks.Acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer lock.Release(context.WithoutCancel(ctx))
+
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return 0, err
+	}
+	fair := c.params.FairShare()
+	var changes []*meta.Change
+	type deletion struct {
+		segID     string
+		placement map[int]string
+	}
+	var deletions []deletion
+	for _, segID := range sortedSegmentIDs(img) {
+		seg := img.Segments[segID]
+		perCloud := make(map[string][]int)
+		for _, b := range seg.Blocks {
+			perCloud[b.CloudID] = append(perCloud[b.CloudID], b.BlockID)
+		}
+		doomed := make(map[int]string)
+		updated := seg.Clone()
+		for cloudName, blocks := range perCloud {
+			// Keep the lowest block IDs (the normal parity set);
+			// surplus high IDs are the over-provisioned extras.
+			if len(blocks) <= fair {
+				continue
+			}
+			sortInts(blocks)
+			for _, b := range blocks[fair:] {
+				doomed[b] = cloudName
+			}
+		}
+		if len(doomed) == 0 {
+			continue
+		}
+		kept := updated.Blocks[:0]
+		for _, b := range updated.Blocks {
+			if _, dead := doomed[b.BlockID]; !dead {
+				kept = append(kept, b)
+			}
+		}
+		updated.Blocks = kept
+		changes = append(changes, &meta.Change{
+			Type: meta.ChangeRelocate, Path: segID,
+			Segments: []*meta.Segment{updated}, Time: time.Time{},
+		})
+		deletions = append(deletions, deletion{segID: segID, placement: doomed})
+	}
+	if len(changes) == 0 {
+		return 0, nil
+	}
+	if !lock.Valid() {
+		return 0, fmt.Errorf("core: quorum lock lost during trim")
+	}
+	if _, err := c.store.Commit(ctx, changes); err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, d := range deletions {
+		deleted += c.engine.DeleteBlocks(ctx, d.segID, d.placement)
+	}
+	c.setLast(c.store.Cached())
+	return deleted, nil
+}
+
+// GCOrphanBlocks deletes coded blocks that exist in the clouds'
+// block directories but are referenced by no segment in the committed
+// metadata. Orphans arise when a device uploads blocks and then fails
+// before committing (the paper mandates blocks-before-metadata, so
+// crashes leak blocks, never metadata). It returns the number of
+// blocks removed.
+//
+// Only blocks whose segment is entirely absent from the pool are
+// collected: a known segment's unreferenced spare blocks may belong
+// to an in-flight upload on another device.
+func (c *Client) GCOrphanBlocks(ctx context.Context) (int, error) {
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, cl := range c.clouds {
+		entries, err := cl.List(ctx, c.engine.BlockDir())
+		if err != nil {
+			continue // unreachable cloud: collect on a later pass
+		}
+		for _, e := range entries {
+			if e.IsDir {
+				continue
+			}
+			segID, _, ok := parseBlockName(e.Name)
+			if !ok {
+				continue
+			}
+			if _, known := img.Segments[segID]; known {
+				continue
+			}
+			path := c.engine.BlockDir() + "/" + e.Name
+			if err := cl.Delete(ctx, path); err == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}
+
+// parseBlockName splits "<segmentID>.<blockID>".
+func parseBlockName(name string) (segID string, blockID int, ok bool) {
+	i := strings.LastIndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], n, true
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Fsck verifies that every segment in the committed metadata still
+// has at least K reachable blocks (spot-checking existence via List
+// on the block directory of each referenced cloud) and returns the
+// IDs of segments at or below the recovery threshold. It is a
+// read-only health check.
+func (c *Client) Fsck(ctx context.Context) (atRisk []string, err error) {
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// One List per cloud covers every block.
+	present := make(map[string]bool)
+	for _, cl := range c.clouds {
+		entries, err := cl.List(ctx, c.engine.BlockDir())
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			present[cl.Name()+"/"+e.Name] = true
+		}
+	}
+	for _, segID := range sortedSegmentIDs(img) {
+		seg := img.Segments[segID]
+		live := 0
+		for _, b := range seg.Blocks {
+			if present[b.CloudID+"/"+meta.BlockName(segID, b.BlockID)] {
+				live++
+			}
+		}
+		if live < seg.K {
+			atRisk = append(atRisk, segID)
+		}
+	}
+	return atRisk, nil
+}

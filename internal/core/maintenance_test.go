@@ -1,0 +1,152 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"unidrive/internal/cloudsim"
+)
+
+func totalBlocks(r *rig) int {
+	n := 0
+	for _, st := range r.stores {
+		n += st.FileCount()
+	}
+	return n
+}
+
+func TestTrimOverProvisionedReclaimsSpace(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	content := randContent(21, 9000)
+	writeFile(t, fa, "file.bin", content)
+	syncOK(t, a)
+
+	img := a.Image()
+	fair := a.Params().FairShare()
+	over := 0
+	for _, seg := range img.Segments {
+		perCloud := map[string]int{}
+		for _, b := range seg.Blocks {
+			perCloud[b.CloudID]++
+		}
+		for _, n := range perCloud {
+			if n > fair {
+				over += n - fair
+			}
+		}
+	}
+	deleted, err := a.TrimOverProvisioned(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != over {
+		t.Fatalf("deleted %d blocks, expected the %d over-provisioned ones", deleted, over)
+	}
+	// Still recoverable, and trimmed metadata propagates.
+	got, err := a.Get(ctxT(t), "file.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte(content)) {
+		t.Fatal("content lost after trim")
+	}
+	b, fb := r.device(t, "beta")
+	syncOK(t, b)
+	if got, err := fb.ReadFile("file.bin"); err != nil || !bytes.Equal(got, []byte(content)) {
+		t.Fatalf("beta read after trim: %v", err)
+	}
+	// Idempotent: a second trim removes nothing.
+	deleted, err = a.TrimOverProvisioned(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != 0 {
+		t.Fatalf("second trim deleted %d blocks", deleted)
+	}
+}
+
+func TestGCOrphanBlocksRemovesLeakedBlocks(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "real.bin", randContent(22, 4000))
+	syncOK(t, a)
+	before := totalBlocks(r)
+
+	// Simulate a crashed device that uploaded blocks but never
+	// committed: orphan blocks under a segment ID no metadata knows.
+	ctx := context.Background()
+	for i, cl := range a.clouds[:3] {
+		path := a.engine.BlockPath("deadbeefcafe0000000000000000000000000000", i)
+		if err := cl.Upload(ctx, path, []byte("orphan")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := a.GCOrphanBlocks(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Fatalf("removed %d orphans, want 3", removed)
+	}
+	if got := totalBlocks(r); got != before {
+		t.Fatalf("block count %d after GC, want %d (live blocks untouched)", got, before)
+	}
+	// Live content unaffected.
+	if _, err := a.Get(ctxT(t), "real.bin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFsckReportsAtRiskSegments(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "checked.bin", randContent(23, 4000))
+	syncOK(t, a)
+
+	atRisk, err := a.Fsck(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atRisk) != 0 {
+		t.Fatalf("healthy store reported at-risk segments: %v", atRisk)
+	}
+	// Destroy blocks behind UniDrive's back on four clouds: fewer
+	// than K=3 blocks remain per segment.
+	ctx := context.Background()
+	for _, st := range r.stores[:4] {
+		if err := cloudsim.NewDirect(st).Delete(ctx, ".unidrive/blocks"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	atRisk, err = a.Fsck(ctxT(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atRisk) == 0 {
+		t.Fatal("Fsck missed segments below the recovery threshold")
+	}
+}
+
+func TestParseBlockName(t *testing.T) {
+	tests := []struct {
+		name   string
+		seg    string
+		id     int
+		wantOK bool
+	}{
+		{"abc.7", "abc", 7, true},
+		{"a.b.12", "a.b", 12, true},
+		{"noindex", "", 0, false},
+		{".5", "", 0, false},
+		{"seg.", "", 0, false},
+		{"seg.x", "", 0, false},
+	}
+	for _, tt := range tests {
+		seg, id, ok := parseBlockName(tt.name)
+		if ok != tt.wantOK || (ok && (seg != tt.seg || id != tt.id)) {
+			t.Errorf("parseBlockName(%q) = (%q, %d, %v)", tt.name, seg, id, ok)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"unidrive/internal/localfs"
+	"unidrive/internal/meta"
+)
+
+// statePath is where the client persists its device-local state
+// inside the sync folder. The path lives under localfs.StatePrefix,
+// which the folder scanner never reports as user content.
+const statePath = localfs.StatePrefix + "state.json"
+
+// persistentState is what survives a client restart: the device's
+// view of the committed metadata (Algorithm 1's v_o) and the folder
+// baseline the scanner compared against. With both, a restarted
+// client detects edits made while it was down as ordinary local
+// changes instead of re-discovering the whole folder.
+type persistentState struct {
+	// Device guards against reusing another device's state file.
+	Device string `json:"device"`
+	// SavedAt is informational.
+	SavedAt time.Time `json:"savedAt"`
+	// Image is the last committed metadata this device observed.
+	Image json.RawMessage `json:"image"`
+	// Baseline is the folder state at the last completed sync.
+	Baseline []localfs.FileInfo `json:"baseline"`
+}
+
+// SaveState persists the client's sync state into the folder. It is
+// called automatically after every successful SyncOnce; exposing it
+// lets tools checkpoint explicitly.
+func (c *Client) SaveState() error {
+	c.mu.Lock()
+	imgData, err := c.last.Encode()
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	st := persistentState{
+		Device:   c.cfg.Device,
+		SavedAt:  c.cfg.Clock.Now(),
+		Image:    imgData,
+		Baseline: c.scanner.Baseline(),
+	}
+	data, err := json.Marshal(&st)
+	if err != nil {
+		return fmt.Errorf("core: encoding state: %w", err)
+	}
+	return c.folder.WriteFile(statePath, data, c.cfg.Clock.Now())
+}
+
+// LoadState restores persisted state saved by SaveState, returning
+// false when no usable state exists (fresh folder, different device,
+// or corrupt file — all treated as a cold start). Call it once,
+// before the first SyncOnce.
+func (c *Client) LoadState() (bool, error) {
+	data, err := c.folder.ReadFile(statePath)
+	if errors.Is(err, localfs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var st persistentState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return false, nil // corrupt state: cold start
+	}
+	if st.Device != c.cfg.Device {
+		return false, nil
+	}
+	img, err := meta.DecodeImage(st.Image)
+	if err != nil {
+		return false, nil
+	}
+	c.setLast(img)
+	c.scanner.Restore(st.Baseline)
+	return true, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/localfs"
+)
+
+// restartDevice builds a new client over the SAME folder and stores,
+// simulating a process restart.
+func restartDevice(t *testing.T, r *rig, name string, folder *localfs.Mem) *Client {
+	t.Helper()
+	var clouds []cloud.Interface
+	for _, st := range r.stores {
+		clouds = append(clouds, cloudsim.NewDirect(st))
+	}
+	c, err := New(clouds, folder, Config{
+		Device: name, Passphrase: "shared-secret", Theta: 4096,
+		LockExpiry: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRestartResumesWithoutRecommit(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "stable.txt", "unchanged across restart")
+	syncOK(t, a)
+
+	// Restart: a fresh client over the same folder restores state and
+	// must not re-commit the unchanged file.
+	a2 := restartDevice(t, r, "alpha", fa)
+	restored, err := a2.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored {
+		t.Fatal("no state restored after restart")
+	}
+	rep := syncOK(t, a2)
+	if rep.LocalChanges != 0 {
+		t.Fatalf("restarted client re-committed %d changes", rep.LocalChanges)
+	}
+	if a2.Image().Version != 1 {
+		t.Fatalf("image version %d after restart, want 1", a2.Image().Version)
+	}
+}
+
+func TestRestartDetectsOfflineEdits(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "doc.txt", "v1")
+	writeFile(t, fa, "other.txt", "constant")
+	syncOK(t, a)
+
+	// The process dies; the user edits doc.txt while UniDrive is not
+	// running; the client restarts.
+	writeFile(t, fa, "doc.txt", "v2 written while offline")
+	a2 := restartDevice(t, r, "alpha", fa)
+	if restored, _ := a2.LoadState(); !restored {
+		t.Fatal("state not restored")
+	}
+	rep := syncOK(t, a2)
+	if rep.LocalChanges != 1 {
+		t.Fatalf("offline edit: %d changes committed, want exactly 1", rep.LocalChanges)
+	}
+	// Propagates normally.
+	b, fb := r.device(t, "beta")
+	syncOK(t, b)
+	got, err := fb.ReadFile("doc.txt")
+	if err != nil || !bytes.Equal(got, []byte("v2 written while offline")) {
+		t.Fatalf("beta sees %q, %v", got, err)
+	}
+}
+
+func TestLoadStateRejectsForeignDevice(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "f.txt", "x")
+	syncOK(t, a)
+	// A different device name must not adopt alpha's state.
+	b := restartDevice(t, r, "beta", fa)
+	restored, err := b.LoadState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored {
+		t.Fatal("beta adopted alpha's state file")
+	}
+}
+
+func TestLoadStateColdStartOnMissingOrCorrupt(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	if restored, err := a.LoadState(); err != nil || restored {
+		t.Fatalf("fresh folder: restored=%v err=%v", restored, err)
+	}
+	if err := fa.WriteFile(statePath, []byte("{corrupt"), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if restored, err := a.LoadState(); err != nil || restored {
+		t.Fatalf("corrupt state: restored=%v err=%v", restored, err)
+	}
+}
+
+func TestStateFileInvisibleToScanner(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "f.txt", "x")
+	syncOK(t, a) // saves state into the folder
+	if _, err := fa.ReadFile(statePath); err != nil {
+		t.Fatal("state file not written")
+	}
+	rep := syncOK(t, a)
+	if rep.LocalChanges != 0 {
+		t.Fatal("the state file leaked into the ChangedFileList")
+	}
+	// And it never reaches the clouds.
+	img := a.Image()
+	if img.Lookup(statePath) != nil {
+		t.Fatal("state file committed to metadata")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/deltasync"
+	"unidrive/internal/meta"
+	"unidrive/internal/metacrypt"
+	"unidrive/internal/qlock"
+	"unidrive/internal/sched"
+	"unidrive/internal/transfer"
+)
+
+// SetClouds changes the client's cloud set (paper §6.2, "Adding or
+// Removing CCSs") and rebalances every segment's block placement to
+// the new configuration: removed clouds' fair shares are regenerated
+// onto the remaining clouds (the client re-encodes blocks locally —
+// it can reconstruct every segment), new clouds receive their fair
+// share, and surplus blocks are reclaimed.
+//
+// The operation runs under the quorum lock of the OLD cloud set (so
+// it serializes with ongoing commits), then commits the updated
+// placements to the NEW set and switches the client over.
+func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) error {
+	if len(newClouds) == 0 {
+		return fmt.Errorf("core: cannot rebalance to zero clouds")
+	}
+	newNames := make([]string, len(newClouds))
+	byName := make(map[string]cloud.Interface, len(newClouds))
+	for i, cl := range newClouds {
+		newNames[i] = cl.Name()
+		byName[cl.Name()] = cl
+	}
+	sort.Strings(newNames)
+
+	newCfg := c.cfg
+	newCfg.Kr, newCfg.Ks = 0, 0 // re-derive for the new N
+	newCfg.fillDefaults(len(newClouds))
+	newParams := sched.Params{N: len(newClouds), K: newCfg.K, Kr: newCfg.Kr, Ks: newCfg.Ks}
+	if err := newParams.Validate(); err != nil {
+		return err
+	}
+
+	lock, err := c.locks.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer lock.Release(context.WithoutCancel(ctx))
+
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return err
+	}
+
+	var relocates []*meta.Change
+	for _, segID := range sortedSegmentIDs(img) {
+		seg := img.Segments[segID]
+		placement := make(map[int]string, len(seg.Blocks))
+		for _, b := range seg.Blocks {
+			placement[b.BlockID] = b.CloudID
+		}
+		plan, err := sched.PlanRebalance(placement, newNames, seg.N, newParams)
+		if err != nil {
+			return fmt.Errorf("core: rebalancing segment %s: %w", segID, err)
+		}
+		if plan.Empty() {
+			continue
+		}
+		if err := c.executeRebalance(ctx, seg, plan, byName); err != nil {
+			return err
+		}
+		updated := seg.Clone()
+		updated.Blocks = nil
+		after := sched.ApplyRebalance(placement, newNames, plan)
+		for blockID, cloudName := range after {
+			updated.AddBlock(blockID, cloudName)
+		}
+		relocates = append(relocates, &meta.Change{
+			Type: meta.ChangeRelocate, Path: segID,
+			Segments: []*meta.Segment{updated}, Time: time.Time{},
+		})
+	}
+
+	// Commit the new placements through a store over the NEW cloud
+	// set; its fetch adopts the latest state from the overlapping
+	// clouds, and its commit fully repairs brand-new ones.
+	cipher, err := metacrypt.New(c.cfg.CipherAlg, c.cfg.Passphrase)
+	if err != nil {
+		return err
+	}
+	newStore := deltasync.New(newClouds, cipher, deltasync.Config{Device: c.cfg.Device})
+	if _, err := newStore.Fetch(ctx); err != nil {
+		return err
+	}
+	if len(relocates) > 0 {
+		if !lock.Valid() {
+			return fmt.Errorf("core: quorum lock lost during rebalance")
+		}
+		if _, err := newStore.Commit(ctx, relocates); err != nil {
+			return err
+		}
+	}
+
+	// Switch the client over (wrapping the new clouds for in-channel
+	// probing like New does).
+	prober := c.engine.Prober()
+	probed := make([]cloud.Interface, len(newClouds))
+	for i, cl := range newClouds {
+		probed[i] = transfer.NewProbing(cl, prober, newCfg.Clock)
+	}
+	c.mu.Lock()
+	c.clouds = probed
+	c.names = newNames
+	c.params = newParams
+	c.cfg = newCfg
+	c.engine = transfer.New(probed, prober, transfer.Config{
+		ConnsPerCloud: newCfg.ConnsPerCloud,
+		Clock:         newCfg.Clock,
+	})
+	c.store = newStore
+	c.locks = qlock.New(probed, qlock.Config{
+		Device: newCfg.Device,
+		Expiry: newCfg.LockExpiry,
+		Clock:  newCfg.Clock,
+	})
+	c.last = newStore.Cached()
+	c.mu.Unlock()
+	return nil
+}
+
+// executeRebalance moves one segment's blocks: fetches the segment
+// content (from wherever enough blocks remain), re-encodes the block
+// IDs the plan wants uploaded, uploads them to their target clouds,
+// and deletes reclaimed blocks.
+func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
+	plan sched.Rebalance, byName map[string]cloud.Interface) error {
+
+	if len(plan.Upload) > 0 {
+		data, err := c.fetchSegment(ctx, seg)
+		if err != nil {
+			return fmt.Errorf("core: cannot reconstruct segment %s for rebalance: %w", seg.ID, err)
+		}
+		coder, err := c.coder(seg.K, seg.N)
+		if err != nil {
+			return err
+		}
+		for cloudName, blockIDs := range plan.Upload {
+			target, ok := byName[cloudName]
+			if !ok {
+				return fmt.Errorf("core: rebalance target %s not in new cloud set", cloudName)
+			}
+			blocks := coder.EncodeBlocks(data, blockIDs)
+			for i, blockID := range blockIDs {
+				path := c.engine.BlockPath(seg.ID, blockID)
+				payload := blocks[i]
+				err := cloud.Retry(ctx, cloud.DefaultRetryPolicy(c.cfg.Clock.Sleep), func() error {
+					return target.Upload(ctx, path, payload)
+				})
+				if err != nil {
+					return fmt.Errorf("core: rebalance upload to %s: %w", cloudName, err)
+				}
+			}
+		}
+	}
+	for cloudName, blockIDs := range plan.Delete {
+		target, ok := byName[cloudName]
+		if !ok {
+			continue // cloud is being removed; its blocks go with it
+		}
+		for _, blockID := range blockIDs {
+			// Best effort: an orphaned block only wastes quota.
+			_ = target.Delete(ctx, c.engine.BlockPath(seg.ID, blockID))
+		}
+	}
+	return nil
+}
+
+func sortedSegmentIDs(img *meta.Image) []string {
+	out := make([]string, 0, len(img.Segments))
+	for id := range img.Segments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"unidrive/internal/localfs"
+	"unidrive/internal/meta"
+	"unidrive/internal/sched"
+	"unidrive/internal/transfer"
+)
+
+// SyncReport summarizes one SyncOnce pass.
+type SyncReport struct {
+	// LocalChanges is the number of local file changes committed.
+	LocalChanges int
+	// CloudChanges is the number of remote file changes applied to
+	// the local folder.
+	CloudChanges int
+	// Conflicts lists conflict-copy paths created during this pass.
+	Conflicts []string
+	// Upload summarizes data-plane upload work.
+	Upload uploadOutcome
+	// Version is the metadata version after the pass.
+	Version int64
+	// AvailableDuration is the time from the start of the pass until
+	// every committed file was AVAILABLE in the multi-cloud (K blocks
+	// per segment uploaded and metadata committed) — the paper's
+	// "available time" metric (§7.1). The pass itself runs longer: it
+	// also completes the reliability phase. Zero when no local
+	// changes were committed.
+	AvailableDuration time.Duration
+}
+
+// ScanLocal polls the sync folder once and records detected changes
+// in the ChangedFileList. It is called by SyncOnce but is exported so
+// tests and tools can drive detection explicitly.
+func (c *Client) ScanLocal() error {
+	events, err := c.scanner.Scan()
+	if err != nil {
+		return fmt.Errorf("core: scanning folder: %w", err)
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case localfs.Added, localfs.Modified:
+			data, err := c.folder.ReadFile(ev.Info.Path)
+			if err != nil {
+				if errors.Is(err, localfs.ErrNotExist) {
+					continue // deleted between scan and read
+				}
+				return err
+			}
+			snap, segs := c.chunkFile(ev.Info, data)
+			typ := meta.ChangeAdd
+			if ev.Kind == localfs.Modified {
+				typ = meta.ChangeEdit
+			}
+			err = c.changes.Record(&meta.Change{
+				Type: typ, Path: ev.Info.Path,
+				Snapshot: snap, Segments: segs, Time: ev.Info.ModTime,
+			})
+			if err != nil {
+				return err
+			}
+		case localfs.Removed:
+			if err := c.changes.Record(&meta.Change{
+				Type: meta.ChangeDelete, Path: ev.Info.Path, Time: time.Time{},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SyncOnce runs one pass of the paper's Algorithm 1 (SyncMetadata),
+// extended with the data-plane work around it:
+//
+//  1. detect local updates (ChangedFileList);
+//  2. if any: upload their data blocks (freely, before metadata);
+//     acquire the quorum lock; if a cloud update is pending, fetch
+//     and reconcile (conflict copies for coincidental updates);
+//     commit the metadata; release the lock;
+//  3. otherwise: if a cloud update is pending, fetch it and apply to
+//     the local folder (downloading any K blocks per segment).
+func (c *Client) SyncOnce(ctx context.Context) (SyncReport, error) {
+	var report SyncReport
+	if err := c.ScanLocal(); err != nil {
+		return report, err
+	}
+	before := c.lastImage()
+
+	if !c.changes.Empty() {
+		if err := c.commitLocal(ctx, &report); err != nil {
+			return report, err
+		}
+	} else {
+		pending, err := c.store.CheckRemote(ctx)
+		if err != nil {
+			return report, err
+		}
+		if pending {
+			if _, err := c.store.Fetch(ctx); err != nil {
+				return report, err
+			}
+		}
+	}
+
+	// Apply whatever is newly committed to the local folder.
+	after := c.store.Cached()
+	n, err := c.applyCloudUpdate(ctx, before, after)
+	if err != nil {
+		return report, err
+	}
+	report.CloudChanges = n
+	report.Version = after.Version
+	c.setLast(after)
+	c.gcSegments(ctx, before, after)
+	// Checkpoint so a restarted client resumes from this state
+	// instead of rediscovering the folder. Best effort: a failed
+	// checkpoint only costs restart efficiency, not correctness.
+	_ = c.SaveState()
+	return report, nil
+}
+
+// commitLocal commits pending local changes under the quorum lock:
+// the availability-first upload phase, then the metadata commit (the
+// files are available to other devices from here — AvailableDuration
+// marks this moment), then the reliability-second phase whose extra
+// placements go into a follow-up commit.
+func (c *Client) commitLocal(ctx context.Context, report *SyncReport) error {
+	start := c.cfg.Clock.Now()
+	changes := c.changes.Drain()
+	ok := false
+	defer func() {
+		if !ok {
+			c.changes.Requeue(changes)
+		}
+	}()
+
+	session, outcome, err := c.uploadAvailability(ctx, changes)
+	if err != nil {
+		return err
+	}
+	report.Upload = outcome
+
+	commitStart := c.cfg.Clock.Now()
+	commitDone, err := c.commitUnderLock(ctx, &changes, report, true)
+	if err != nil {
+		return err
+	}
+	report.LocalChanges = len(changes)
+	// The paper's "available time": transfers until the batch had K
+	// blocks per segment, plus the metadata commit. Excluded: the
+	// drain of in-flight straggler blocks before the commit, and the
+	// lock release after it — a concurrent implementation overlaps
+	// both, and the data is visible to other devices the moment the
+	// commit lands.
+	report.AvailableDuration = session.availAt.Sub(start) + commitDone.Sub(commitStart)
+	ok = true
+
+	// Reliability-second: top up fair shares (and over-provision),
+	// then record the extra placements with a follow-up commit.
+	relocates, over, err := c.uploadReliability(ctx, session)
+	if err != nil {
+		return err
+	}
+	report.Upload.OverProvisioned = over
+	if len(relocates) > 0 {
+		if _, err := c.commitUnderLock(ctx, &relocates, report, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitUnderLock acquires the quorum lock, reconciles against any
+// pending cloud update (when reconcile is true), and commits the
+// changes. The changes slice is replaced with the reconciled set. It
+// returns the instant the commit itself completed (before the lock
+// release).
+func (c *Client) commitUnderLock(ctx context.Context, changes *[]*meta.Change, report *SyncReport, reconcile bool) (time.Time, error) {
+	lock, err := c.locks.Acquire(ctx)
+	if err != nil {
+		return time.Time{}, err
+	}
+	defer lock.Release(context.WithoutCancel(ctx))
+
+	pending, err := c.store.CheckRemote(ctx)
+	if err != nil {
+		return time.Time{}, err
+	}
+	if pending {
+		if _, err := c.store.Fetch(ctx); err != nil {
+			return time.Time{}, err
+		}
+		if reconcile {
+			*changes, err = c.reconcile(ctx, *changes, report)
+			if err != nil {
+				return time.Time{}, err
+			}
+		}
+	}
+	if !lock.Valid() {
+		return time.Time{}, fmt.Errorf("core: quorum lock lost before commit")
+	}
+	if len(*changes) > 0 {
+		stats, err := c.store.Commit(ctx, *changes)
+		if err != nil {
+			return time.Time{}, err
+		}
+		report.Version = stats.Version
+	}
+	return c.cfg.Clock.Now(), nil
+}
+
+// reconcile adjusts the pending change list against a freshly fetched
+// cloud image (paper §5.2, conflicting local and cloud updates):
+//
+//   - a path updated only locally keeps its change;
+//   - a coincidental update with identical content drops the local
+//     change (the cloud already has it);
+//   - a true conflict retains both versions: the local version is
+//     renamed to a conflict-copy path (a new Add change plus a local
+//     file copy) and the cloud's version wins the original path;
+//   - a local edit of a file the cloud deleted keeps the local edit;
+//     a local delete of a file the cloud edited drops the delete.
+//
+// It also re-verifies that every segment referenced by the surviving
+// changes still exists (another device may have garbage-collected a
+// deduplicated segment we relied on) and re-uploads any that do not.
+func (c *Client) reconcile(ctx context.Context, changes []*meta.Change, report *SyncReport) ([]*meta.Change, error) {
+	vo := c.lastImage()
+	vc := c.store.Cached()
+	deltaC := meta.DiffImages(vo, vc)
+
+	var out []*meta.Change
+	for _, ch := range changes {
+		if ch.Type == meta.ChangeRelocate {
+			out = append(out, ch)
+			continue
+		}
+		dc, contested := deltaC[ch.Path]
+		if !contested {
+			out = append(out, ch)
+			continue
+		}
+		cloudSnap := dc.After
+		switch ch.Type {
+		case meta.ChangeAdd, meta.ChangeEdit:
+			if cloudSnap == nil || cloudSnap.Deleted {
+				// Cloud deleted, we edited: our edit survives.
+				out = append(out, ch)
+				continue
+			}
+			if cloudSnap.ContentEquals(ch.Snapshot) {
+				continue // identical coincidental update
+			}
+			// True conflict: keep the cloud's version at the path,
+			// retain ours as a conflict copy.
+			copyPath := localfs.ConflictCopyPath(ch.Path, c.cfg.Device)
+			snap := ch.Snapshot.Clone()
+			snap.Path = copyPath
+			out = append(out, &meta.Change{
+				Type: meta.ChangeAdd, Path: copyPath,
+				Snapshot: snap, Segments: ch.Segments, Time: ch.Time,
+			})
+			if data, err := c.folder.ReadFile(ch.Path); err == nil {
+				if err := c.folder.WriteFile(copyPath, data, snap.ModTime); err != nil {
+					return nil, err
+				}
+				c.scanner.Suppress(copyPath, int64(len(data)), snap.ModTime, false)
+			}
+			c.noteConflict(copyPath)
+			report.Conflicts = append(report.Conflicts, copyPath)
+		case meta.ChangeDelete:
+			if cloudSnap != nil && !cloudSnap.Deleted {
+				// Cloud edited what we deleted: the edit survives,
+				// our delete is dropped.
+				continue
+			}
+			// Both deleted: nothing to commit.
+		}
+	}
+	out, err := c.reuploadMissingSegments(ctx, out, vc)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// reuploadMissingSegments verifies dedup assumptions against the
+// fetched image: any referenced segment that is neither freshly
+// uploaded (has block placements in the change) nor present in the
+// cloud pool is re-uploaded from the local cache.
+func (c *Client) reuploadMissingSegments(ctx context.Context, changes []*meta.Change, vc *meta.Image) ([]*meta.Change, error) {
+	for _, ch := range changes {
+		for _, seg := range ch.Segments {
+			if len(seg.Blocks) > 0 {
+				continue // we just uploaded it
+			}
+			if pool, ok := vc.Segments[seg.ID]; ok && len(pool.Blocks) >= seg.K {
+				seg.Blocks = append([]meta.BlockLocation(nil), pool.Blocks...)
+				continue
+			}
+			// Dedup assumption broken: re-upload.
+			src, err := c.blockSource(seg)
+			if err != nil {
+				return nil, err
+			}
+			plan, err := c.uploadSegmentAvailable(ctx, seg, src)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.engine.UploadSegment(ctx, plan, seg.ID, src, nil); err != nil {
+				return nil, err
+			}
+			for blockID, cloudName := range plan.Placement() {
+				seg.AddBlock(blockID, cloudName)
+			}
+		}
+	}
+	return changes, nil
+}
+
+// applyCloudUpdate materializes the difference between two metadata
+// versions in the local folder: files changed remotely are downloaded
+// (any K blocks per segment, fastest clouds first), deletions are
+// applied, and our own just-committed paths are skipped (they are
+// already on disk).
+//
+// All files' segments download through ONE batched dispatcher —
+// earliest file first, later files' blocks filling otherwise-idle
+// connections — and each file is assembled and written the moment its
+// last segment lands (the paper's availability-first pipeline, on the
+// receive side).
+func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (int, error) {
+	diff := meta.DiffImages(from, to)
+	applied := 0
+
+	// pendingFile tracks a file whose segments are downloading.
+	type pendingFile struct {
+		snap *meta.Snapshot
+		// parts[i] is segment i's content; cached segments are filled
+		// immediately, downloaded ones by their Done callback.
+		parts   [][]byte
+		missing int
+	}
+	var files []*pendingFile
+	var items []transfer.DownloadItem
+	writeErrs := make(map[string]error)
+
+	finish := func(f *pendingFile) {
+		data := make([]byte, 0, f.snap.Size)
+		for _, p := range f.parts {
+			data = append(data, p...)
+		}
+		if err := c.folder.WriteFile(f.snap.Path, data, f.snap.ModTime); err != nil {
+			writeErrs[f.snap.Path] = err
+			return
+		}
+		c.scanner.Suppress(f.snap.Path, int64(len(data)), f.snap.ModTime, false)
+		applied++
+	}
+
+	for _, path := range diff.Paths() {
+		after := diff[path].After
+		if after == nil {
+			continue
+		}
+		if after.Deleted {
+			if _, err := c.folder.Stat(path); err == nil {
+				if err := c.folder.Remove(path); err != nil {
+					return applied, err
+				}
+				c.scanner.Suppress(path, 0, time.Time{}, true)
+				applied++
+			}
+			continue
+		}
+		// Skip content already on disk (e.g. our own commits or a
+		// previous partial application).
+		if fi, err := c.folder.Stat(path); err == nil && fi.Size == after.Size {
+			if data, err := c.folder.ReadFile(path); err == nil {
+				if snap, _ := c.chunkFile(localfs.FileInfo{Path: path, ModTime: fi.ModTime}, data); snap.ContentEquals(after) {
+					continue
+				}
+			}
+		}
+		f := &pendingFile{snap: after, parts: make([][]byte, len(after.SegmentIDs))}
+		for i, id := range after.SegmentIDs {
+			seg, ok := to.Segments[id]
+			if !ok {
+				return applied, fmt.Errorf("core: file %s references unknown segment %s", path, id)
+			}
+			if data, cached := c.cachedSegment(id); cached {
+				f.parts[i] = data
+				continue
+			}
+			locations := make(map[int][]string, len(seg.Blocks))
+			for _, b := range seg.Blocks {
+				locations[b.BlockID] = append(locations[b.BlockID], b.CloudID)
+			}
+			plan, err := sched.NewDownloadPlan(seg.K, locations)
+			if err != nil {
+				return applied, fmt.Errorf("core: segment %s: %w", id, err)
+			}
+			f.missing++
+			items = append(items, transfer.DownloadItem{
+				Plan:  plan,
+				SegID: id,
+				Done: func(blocks map[int][]byte) {
+					coder, err := c.coder(seg.K, seg.N)
+					if err != nil {
+						writeErrs[f.snap.Path] = err
+						return
+					}
+					data, err := coder.Decode(blocks, seg.Length)
+					if err != nil {
+						writeErrs[f.snap.Path] = fmt.Errorf("core: segment %s: %w", seg.ID, err)
+						return
+					}
+					f.parts[i] = data
+					f.missing--
+					if f.missing == 0 {
+						finish(f)
+					}
+				},
+			})
+		}
+		if f.missing == 0 {
+			// Everything served from the local segment cache.
+			finish(f)
+			continue
+		}
+		files = append(files, f)
+	}
+
+	if len(items) > 0 {
+		if _, err := c.engine.DownloadBatch(ctx, items); err != nil {
+			return applied, err
+		}
+	}
+	for _, f := range files {
+		if err := writeErrs[f.snap.Path]; err != nil {
+			return applied, err
+		}
+		if f.missing > 0 {
+			return applied, fmt.Errorf("core: file %s: %w", f.snap.Path, transfer.ErrSegmentUnrecoverable)
+		}
+	}
+	for path, err := range writeErrs {
+		return applied, fmt.Errorf("core: applying %s: %w", path, err)
+	}
+	return applied, nil
+}
+
+// gcSegments deletes the coded blocks of segments that disappeared
+// from the pool between two committed images (their refcount reached
+// zero), and drops the local content cache for segments now safely
+// committed.
+func (c *Client) gcSegments(ctx context.Context, from, to *meta.Image) {
+	var committed []string
+	for id := range to.Segments {
+		committed = append(committed, id)
+	}
+	c.dropSegmentCache(committed)
+	for id, seg := range from.Segments {
+		if _, alive := to.Segments[id]; alive {
+			continue
+		}
+		placement := make(map[int]string, len(seg.Blocks))
+		for _, b := range seg.Blocks {
+			placement[b.BlockID] = b.CloudID
+		}
+		c.engine.DeleteBlocks(ctx, id, placement)
+	}
+}
+
+// RunLoop runs SyncOnce every SyncInterval (the paper's τ) until the
+// context is cancelled. Errors from individual passes are delivered
+// to onError (which may be nil) and do not stop the loop.
+func (c *Client) RunLoop(ctx context.Context, onError func(error)) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.cfg.Clock.After(c.cfg.SyncInterval):
+		}
+		if _, err := c.SyncOnce(ctx); err != nil && onError != nil {
+			onError(err)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+// Package deltasync stores UniDrive's metadata in the multi-cloud as
+// a base file plus a log-structured delta file (paper §5.2,
+// "Delta-sync for Efficiency", following HDFS's image/edits design).
+//
+// The gross metadata (SyncFolderImage) grows with the number of files
+// and would be expensive to re-upload on every commit. Instead:
+//
+//   - base holds a full encrypted snapshot of the image;
+//   - delta holds an encrypted log of commit records appended since
+//     the base was written;
+//   - version holds a tiny plaintext stamp {device, version} that
+//     devices poll to detect pending cloud updates without
+//     downloading any metadata.
+//
+// When the delta grows past the threshold λ — a fraction of the base
+// size with a floor (the paper suggests 0.25·base or 10 KB) — the
+// committing device merges it into a fresh base and clears the delta.
+//
+// All three files are replicated to every cloud. Commits happen under
+// the quorum lock and succeed when a majority of clouds accepted
+// them; stale clouds (down during earlier commits) are detected by
+// their version stamp and repaired with a full base write on the next
+// commit that reaches them. A fetch picks the newest version visible
+// on any reachable cloud, which under majority-commit is always the
+// latest committed state.
+package deltasync
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/meta"
+	"unidrive/internal/metacrypt"
+)
+
+// Remote metadata file names under Dir.
+const (
+	baseFile    = "base"
+	deltaFile   = "delta"
+	versionFile = "version"
+)
+
+// DefaultDir is the metadata directory on every cloud.
+const DefaultDir = ".unidrive/meta"
+
+// ErrNoQuorum reports that a commit could not reach a majority of
+// clouds.
+var ErrNoQuorum = errors.New("deltasync: commit did not reach a quorum of clouds")
+
+// Record is one committed metadata update in the delta log.
+type Record struct {
+	// Version is the image version this record produces.
+	Version int64 `json:"version"`
+	// Device is the committing device.
+	Device string `json:"device"`
+	// BaseVersion is the version of the base the record applies to;
+	// a delta whose BaseVersion does not match a cloud's base is
+	// evidence of a stale cloud and is ignored.
+	BaseVersion int64 `json:"baseVersion"`
+	// Changes are the file changes of this commit.
+	Changes []*meta.Change `json:"changes"`
+}
+
+// Config parametrizes the store.
+type Config struct {
+	// Device is this device's name, stamped into commits.
+	Device string
+	// Dir is the metadata directory on each cloud (DefaultDir).
+	Dir string
+	// LambdaFrac and LambdaMin define the delta-merge threshold λ:
+	// the delta is merged into the base when its encoded size
+	// exceeds max(LambdaFrac·baseSize, LambdaMin). Defaults 0.25 and
+	// 10 KB.
+	LambdaFrac float64
+	LambdaMin  int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Dir == "" {
+		c.Dir = DefaultDir
+	}
+	if c.LambdaFrac <= 0 {
+		c.LambdaFrac = 0.25
+	}
+	if c.LambdaMin <= 0 {
+		c.LambdaMin = 10 * 1024
+	}
+}
+
+// CommitStats reports what a commit moved over the network, used by
+// the Delta-sync efficiency experiment (paper Fig 13).
+type CommitStats struct {
+	// Version is the committed image version.
+	Version int64
+	// BaseRotated reports whether this commit wrote a fresh base.
+	BaseRotated bool
+	// DeltaBytes and BaseBytes are the encoded (encrypted) sizes
+	// uploaded per cloud for the delta and base files.
+	DeltaBytes int
+	BaseBytes  int
+	// FullImageBytes is the size a non-delta design would have
+	// uploaded (the whole encoded image) — the Fig 13 comparison.
+	FullImageBytes int
+	// CloudsOK counts clouds that accepted the commit.
+	CloudsOK int
+}
+
+// Store replicates metadata to a set of clouds. Safe for concurrent
+// use, though commits must be serialized by the quorum lock.
+type Store struct {
+	clouds []cloud.Interface
+	cipher *metacrypt.Cipher
+	cfg    Config
+
+	mu      sync.Mutex
+	base    *meta.Image // last known base
+	records []Record    // last known delta records
+	stamp   meta.VersionStamp
+}
+
+// New creates a metadata store over the given clouds. cipher encrypts
+// base and delta files; it must be the same on every device.
+func New(clouds []cloud.Interface, cipher *metacrypt.Cipher, cfg Config) *Store {
+	if len(clouds) == 0 {
+		panic("deltasync: no clouds")
+	}
+	if cfg.Device == "" {
+		panic("deltasync: empty device name")
+	}
+	cfg.fillDefaults()
+	return &Store{
+		clouds: clouds,
+		cipher: cipher,
+		cfg:    cfg,
+		base:   meta.NewImage(),
+	}
+}
+
+// Quorum returns the majority count for commits.
+func (s *Store) Quorum() int { return len(s.clouds)/2 + 1 }
+
+func (s *Store) path(name string) string { return cloud.JoinPath(s.cfg.Dir, name) }
+
+// Stamp returns the last known committed version stamp.
+func (s *Store) Stamp() meta.VersionStamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stamp
+}
+
+// Cached returns a deep copy of the last fetched/committed image.
+func (s *Store) Cached() *meta.Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materializeLocked()
+}
+
+// materializeLocked rebuilds the image from base + records.
+func (s *Store) materializeLocked() *meta.Image {
+	img := s.base.Clone()
+	for _, r := range s.records {
+		for _, c := range r.Changes {
+			// Records were validated at commit time; an error here
+			// indicates corrupted state and is surfaced by Fetch.
+			_ = img.Apply(c, r.Device)
+		}
+		img.Version = r.Version
+		img.Device = r.Device
+	}
+	// Zero-reference segments are dropped deterministically at
+	// materialization, so every device converges on the same pool and
+	// the committing device can garbage-collect their blocks.
+	img.DropSegments(img.RecountRefs())
+	return img
+}
+
+// CheckRemote reports whether any reachable cloud advertises a newer
+// metadata version than the cached one — the paper's cheap
+// cloud-update check using only the tiny version file.
+func (s *Store) CheckRemote(ctx context.Context) (bool, error) {
+	known := s.Stamp()
+	type outcome struct {
+		reachable bool
+		pending   bool
+		err       error
+	}
+	results := make([]outcome, len(s.clouds))
+	var wg sync.WaitGroup
+	for i, c := range s.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			data, err := c.Download(ctx, s.path(versionFile))
+			if err != nil {
+				if errors.Is(err, cloud.ErrNotFound) {
+					results[i] = outcome{reachable: true}
+				} else {
+					results[i] = outcome{err: err}
+				}
+				return
+			}
+			stamp, err := meta.DecodeVersionStamp(data)
+			if err != nil {
+				results[i] = outcome{reachable: true, err: err}
+				return
+			}
+			pending := stamp.Version > known.Version ||
+				(stamp.Version == known.Version && stamp.Device != known.Device)
+			results[i] = outcome{reachable: true, pending: pending}
+		}(i, c)
+	}
+	wg.Wait()
+	var anyReachable bool
+	var lastErr error
+	for _, r := range results {
+		if r.err != nil {
+			lastErr = r.err
+		}
+		if r.reachable {
+			anyReachable = true
+		}
+		if r.pending {
+			return true, nil
+		}
+	}
+	if !anyReachable {
+		return false, fmt.Errorf("deltasync: no cloud reachable for version check: %w", lastErr)
+	}
+	return false, nil
+}
+
+// cloudState is one cloud's fetched metadata.
+type cloudState struct {
+	base    *meta.Image
+	records []Record
+	stamp   meta.VersionStamp
+}
+
+// fetchCloud reads and validates one cloud's metadata lineage.
+func (s *Store) fetchCloud(ctx context.Context, c cloud.Interface) (*cloudState, error) {
+	baseData, err := c.Download(ctx, s.path(baseFile))
+	var baseImg *meta.Image
+	switch {
+	case errors.Is(err, cloud.ErrNotFound):
+		baseImg = meta.NewImage()
+	case err != nil:
+		return nil, fmt.Errorf("deltasync: fetching base from %s: %w", c.Name(), err)
+	default:
+		plain, err := s.cipher.Open(baseData)
+		if err != nil {
+			return nil, fmt.Errorf("deltasync: decrypting base from %s: %w", c.Name(), err)
+		}
+		baseImg, err = meta.DecodeImage(plain)
+		if err != nil {
+			return nil, fmt.Errorf("deltasync: decoding base from %s: %w", c.Name(), err)
+		}
+	}
+
+	var records []Record
+	deltaData, err := c.Download(ctx, s.path(deltaFile))
+	switch {
+	case errors.Is(err, cloud.ErrNotFound):
+		// No delta yet.
+	case err != nil:
+		return nil, fmt.Errorf("deltasync: fetching delta from %s: %w", c.Name(), err)
+	default:
+		records, err = s.decodeDelta(deltaData)
+		if err != nil {
+			return nil, fmt.Errorf("deltasync: delta from %s: %w", c.Name(), err)
+		}
+	}
+
+	// Validate lineage: records must chain from this base.
+	expect := baseImg.Version
+	for _, r := range records {
+		if r.BaseVersion != baseImg.Version || r.Version != expect+1 {
+			return nil, fmt.Errorf("deltasync: %s has inconsistent lineage (base v%d, record v%d on base v%d)",
+				c.Name(), baseImg.Version, r.Version, r.BaseVersion)
+		}
+		expect = r.Version
+	}
+	st := &cloudState{base: baseImg, records: records}
+	st.stamp = meta.VersionStamp{Device: baseImg.Device, Version: baseImg.Version}
+	if n := len(records); n > 0 {
+		st.stamp = meta.VersionStamp{Device: records[n-1].Device, Version: records[n-1].Version}
+	}
+	return st, nil
+}
+
+// Fetch refreshes the cached metadata from the clouds: it collects
+// every reachable cloud's state and adopts the newest consistent one.
+// It returns the materialized image.
+func (s *Store) Fetch(ctx context.Context) (*meta.Image, error) {
+	states := make([]*cloudState, len(s.clouds))
+	errs := make([]error, len(s.clouds))
+	var wg sync.WaitGroup
+	for i, c := range s.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			states[i], errs[i] = s.fetchCloud(ctx, c)
+		}(i, c)
+	}
+	wg.Wait()
+	var best *cloudState
+	var lastErr error
+	for i, st := range states {
+		if errs[i] != nil {
+			lastErr = errs[i]
+			continue
+		}
+		if best == nil || st.stamp.Version > best.stamp.Version {
+			best = st
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("deltasync: no cloud yielded metadata: %w", lastErr)
+	}
+	s.mu.Lock()
+	s.base = best.base
+	s.records = best.records
+	s.stamp = best.stamp
+	img := s.materializeLocked()
+	s.mu.Unlock()
+	return img, nil
+}
+
+// encodeDelta serializes and encrypts the record log as JSON lines.
+func (s *Store) encodeDelta(records []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, r := range records {
+		line, err := encodeRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	sealed, err := s.cipher.Seal(buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("deltasync: encrypting delta: %w", err)
+	}
+	return sealed, nil
+}
+
+func (s *Store) decodeDelta(blob []byte) ([]Record, error) {
+	plain, err := s.cipher.Open(blob)
+	if err != nil {
+		return nil, fmt.Errorf("decrypting delta: %w", err)
+	}
+	var records []Record
+	for _, line := range bytes.Split(plain, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		r, err := decodeRecord(line)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, r)
+	}
+	return records, nil
+}
+
+// Commit writes a new metadata version containing the given changes.
+// It must be called while holding the quorum lock, with the cached
+// state up to date (call Fetch first when a cloud update is pending).
+// The new image version is cached version + 1.
+//
+// Commit appends a record to the delta log, or — when the delta would
+// exceed λ, or a full image write is forced — rotates the base.
+// Clouds whose version stamp shows they missed earlier commits are
+// repaired with a full base write.
+func (s *Store) Commit(ctx context.Context, changes []*meta.Change) (CommitStats, error) {
+	for _, c := range changes {
+		if err := c.Validate(); err != nil {
+			return CommitStats{}, fmt.Errorf("deltasync: commit: %w", err)
+		}
+	}
+	s.mu.Lock()
+	prevStamp := s.stamp
+	rec := Record{
+		Version:     prevStamp.Version + 1,
+		Device:      s.cfg.Device,
+		BaseVersion: s.base.Version,
+		Changes:     changes,
+	}
+	newRecords := append(append([]Record(nil), s.records...), rec)
+	newImage := func() *meta.Image {
+		img := s.base.Clone()
+		for _, r := range newRecords {
+			for _, ch := range r.Changes {
+				_ = img.Apply(ch, r.Device)
+			}
+			img.Version = r.Version
+			img.Device = r.Device
+		}
+		img.DropSegments(img.RecountRefs())
+		return img
+	}()
+	s.mu.Unlock()
+
+	fullImageData, err := newImage.Encode()
+	if err != nil {
+		return CommitStats{}, err
+	}
+	sealedBase, err := s.cipher.Seal(fullImageData)
+	if err != nil {
+		return CommitStats{}, fmt.Errorf("deltasync: encrypting base: %w", err)
+	}
+	deltaBlob, err := s.encodeDelta(newRecords)
+	if err != nil {
+		return CommitStats{}, err
+	}
+	stampData, err := meta.VersionStamp{Device: s.cfg.Device, Version: rec.Version}.Encode()
+	if err != nil {
+		return CommitStats{}, err
+	}
+
+	lambda := int(s.cfg.LambdaFrac * float64(len(sealedBase)))
+	if lambda < s.cfg.LambdaMin {
+		lambda = s.cfg.LambdaMin
+	}
+	rotate := len(deltaBlob) > lambda
+
+	stats := CommitStats{
+		Version:        rec.Version,
+		BaseRotated:    rotate,
+		DeltaBytes:     len(deltaBlob),
+		BaseBytes:      len(sealedBase),
+		FullImageBytes: len(sealedBase),
+	}
+
+	var wg sync.WaitGroup
+	okCh := make([]bool, len(s.clouds))
+	for i, c := range s.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			okCh[i] = s.commitToCloud(ctx, c, prevStamp, rotate, sealedBase, deltaBlob, stampData)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, ok := range okCh {
+		if ok {
+			stats.CloudsOK++
+		}
+	}
+	if stats.CloudsOK < s.Quorum() {
+		return stats, fmt.Errorf("%w: %d/%d", ErrNoQuorum, stats.CloudsOK, len(s.clouds))
+	}
+
+	s.mu.Lock()
+	if rotate {
+		s.base = newImage
+		s.records = nil
+	} else {
+		s.records = newRecords
+	}
+	s.stamp = meta.VersionStamp{Device: s.cfg.Device, Version: rec.Version}
+	s.mu.Unlock()
+	return stats, nil
+}
+
+// commitToCloud writes this commit to one cloud. A cloud that is
+// up-to-date (its stamp equals prevStamp) receives only the delta
+// (or, on rotation, the new base); a stale or empty cloud receives a
+// full repair (base + empty delta).
+func (s *Store) commitToCloud(ctx context.Context, c cloud.Interface, prevStamp meta.VersionStamp,
+	rotate bool, sealedBase, deltaBlob, stampData []byte) bool {
+
+	upToDate := false
+	if data, err := c.Download(ctx, s.path(versionFile)); err == nil {
+		if st, err := meta.DecodeVersionStamp(data); err == nil && st == prevStamp {
+			upToDate = true
+		}
+	} else if prevStamp.Version == 0 && errors.Is(err, cloud.ErrNotFound) {
+		upToDate = true // brand-new cloud at genesis
+	}
+
+	writeBase := rotate || !upToDate
+	if writeBase {
+		if err := c.Upload(ctx, s.path(baseFile), sealedBase); err != nil {
+			return false
+		}
+		emptyDelta, err := s.encodeDelta(nil)
+		if err != nil {
+			return false
+		}
+		if err := c.Upload(ctx, s.path(deltaFile), emptyDelta); err != nil {
+			return false
+		}
+	} else {
+		if err := c.Upload(ctx, s.path(deltaFile), deltaBlob); err != nil {
+			return false
+		}
+	}
+	return c.Upload(ctx, s.path(versionFile), stampData) == nil
+}
+
+func encodeRecord(r Record) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("deltasync: encoding record v%d: %w", r.Version, err)
+	}
+	return data, nil
+}
+
+func decodeRecord(line []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Record{}, fmt.Errorf("deltasync: decoding record: %w", err)
+	}
+	return r, nil
+}

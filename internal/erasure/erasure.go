@@ -1,0 +1,186 @@
+// Package erasure implements the Reed–Solomon coding used by
+// UniDrive's data plane (paper §6.1).
+//
+// Each file segment is split into k equally sized source shards and
+// encoded into n >= k coded data blocks such that any k blocks
+// reconstruct the segment (an MDS code). UniDrive deliberately uses a
+// NON-SYSTEMATIC code: no coded block is a verbatim copy of source
+// data, so a provider holding fewer than k blocks of a segment learns
+// nothing of the plaintext layout ("removes their semantics and thus
+// prevents the providers from inferring the original contents").
+//
+// The encode matrix is a Cauchy matrix, every square submatrix of
+// which is invertible — exactly the property needed for any-k-of-n
+// decoding. A systematic variant (identity on the first k rows) is
+// provided for baseline comparisons and benchmarks.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"unidrive/internal/gf256"
+)
+
+// Coder encodes segments into n coded blocks of which any k recover
+// the original. A Coder is immutable and safe for concurrent use.
+type Coder struct {
+	k, n       int
+	enc        *gf256.Matrix
+	systematic bool
+}
+
+// ErrInsufficientBlocks is returned by Decode when fewer than k
+// distinct blocks are supplied.
+var ErrInsufficientBlocks = errors.New("erasure: insufficient blocks to decode")
+
+// NewCoder returns a non-systematic (k, n) coder. It returns an error
+// unless 0 < k <= n and n+k <= 256.
+func NewCoder(k, n int) (*Coder, error) {
+	if k <= 0 || n < k || n+k > 256 {
+		return nil, fmt.Errorf("erasure: invalid parameters k=%d n=%d", k, n)
+	}
+	return &Coder{k: k, n: n, enc: gf256.Cauchy(n, k)}, nil
+}
+
+// NewSystematicCoder returns a (k, n) coder whose first k blocks are
+// verbatim source shards. It exists for baseline comparisons; UniDrive
+// proper always uses the non-systematic coder.
+func NewSystematicCoder(k, n int) (*Coder, error) {
+	if k <= 0 || n < k || n+k > 256 {
+		return nil, fmt.Errorf("erasure: invalid parameters k=%d n=%d", k, n)
+	}
+	// Start from a Cauchy matrix (every submatrix invertible) and
+	// normalize its top k×k square to the identity; this preserves
+	// the any-k-of-n property while making the first k rows carry
+	// the source verbatim.
+	c := gf256.Cauchy(n, k)
+	topRows := make([]int, k)
+	for i := range topRows {
+		topRows[i] = i
+	}
+	top := c.SubMatrix(topRows)
+	inv, err := top.Invert()
+	if err != nil {
+		// Impossible for a Cauchy matrix; fail loudly if it happens.
+		return nil, fmt.Errorf("erasure: cauchy top square not invertible: %w", err)
+	}
+	return &Coder{k: k, n: n, enc: c.Mul(inv), systematic: true}, nil
+}
+
+// K returns the number of source shards (blocks needed to decode).
+func (c *Coder) K() int { return c.k }
+
+// N returns the total number of coded blocks the coder can produce.
+func (c *Coder) N() int { return c.n }
+
+// Systematic reports whether the first k blocks are verbatim source.
+func (c *Coder) Systematic() bool { return c.systematic }
+
+// ShardSize returns the per-block size for a segment of segLen bytes:
+// ceil(segLen / k), with a minimum of 1 so zero-length segments still
+// produce well-formed blocks.
+func (c *Coder) ShardSize(segLen int) int {
+	if segLen <= 0 {
+		return 1
+	}
+	return (segLen + c.k - 1) / c.k
+}
+
+// split pads the segment to k*shardSize bytes and returns the k
+// source shards. The returned shards alias a fresh buffer.
+func (c *Coder) split(segment []byte) [][]byte {
+	shard := c.ShardSize(len(segment))
+	buf := make([]byte, c.k*shard)
+	copy(buf, segment)
+	shards := make([][]byte, c.k)
+	for i := range shards {
+		shards[i] = buf[i*shard : (i+1)*shard]
+	}
+	return shards
+}
+
+// Encode produces all n coded blocks for the segment. Block i is the
+// i-th row of the encode matrix applied to the source shards. The
+// original segment length must be remembered by the caller (UniDrive
+// stores it in the segment metadata) to strip padding on decode.
+func (c *Coder) Encode(segment []byte) [][]byte {
+	return c.EncodeBlocks(segment, allIndices(c.n))
+}
+
+// EncodeBlocks produces only the blocks with the given indices, in
+// the given order. UniDrive uses this to generate over-provisioned
+// parity blocks on demand (paper §6.1: they "can be generated either
+// in advance ... or on demand") without paying for the full n. It
+// panics if an index is out of [0, n).
+func (c *Coder) EncodeBlocks(segment []byte, indices []int) [][]byte {
+	shards := c.split(segment)
+	shardSize := len(shards[0])
+	out := make([][]byte, len(indices))
+	for oi, idx := range indices {
+		if idx < 0 || idx >= c.n {
+			panic(fmt.Sprintf("erasure: block index %d out of range [0,%d)", idx, c.n))
+		}
+		block := make([]byte, shardSize)
+		row := c.enc.Row(idx)
+		for j, coef := range row {
+			gf256.MulAddSlice(coef, shards[j], block)
+		}
+		out[oi] = block
+	}
+	return out
+}
+
+// Decode reconstructs a segment of origLen bytes from any k coded
+// blocks. blocks maps block index -> block content; all blocks must
+// have equal length ShardSize(origLen). Extra blocks beyond k are
+// ignored (the k smallest indices are used, which keeps decoding
+// deterministic).
+func (c *Coder) Decode(blocks map[int][]byte, origLen int) ([]byte, error) {
+	if len(blocks) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficientBlocks, len(blocks), c.k)
+	}
+	idxs := make([]int, 0, len(blocks))
+	for i := range blocks {
+		if i < 0 || i >= c.n {
+			return nil, fmt.Errorf("erasure: block index %d out of range [0,%d)", i, c.n)
+		}
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	idxs = idxs[:c.k]
+
+	shardSize := c.ShardSize(origLen)
+	for _, i := range idxs {
+		if len(blocks[i]) != shardSize {
+			return nil, fmt.Errorf("erasure: block %d has size %d, want %d", i, len(blocks[i]), shardSize)
+		}
+	}
+
+	sub := c.enc.SubMatrix(idxs)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode matrix inversion: %w", err)
+	}
+	// Reconstruct the k source shards: src = inv × received.
+	buf := make([]byte, c.k*shardSize)
+	for row := 0; row < c.k; row++ {
+		dst := buf[row*shardSize : (row+1)*shardSize]
+		for col, coef := range inv.Row(row) {
+			gf256.MulAddSlice(coef, blocks[idxs[col]], dst)
+		}
+	}
+	if origLen < 0 || origLen > len(buf) {
+		return nil, fmt.Errorf("erasure: original length %d outside [0,%d]", origLen, len(buf))
+	}
+	return buf[:origLen], nil
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationOverProvisioning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tb := AblationOverProvisioning(AblationOpts{Seed: 7, Scale: 800, Trials: 3, SizeMB: 8})
+	if len(tb.Rows) == 0 {
+		t.Fatalf("no trials completed:\n%s", tb.String())
+	}
+	hasMean := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "mean availability") {
+			hasMean = true
+		}
+	}
+	if !hasMean {
+		t.Fatal("no mean note")
+	}
+	t.Log("\n" + tb.String())
+}
+
+func TestAblationDownloadScheduling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tb := AblationDownloadScheduling(AblationOpts{Seed: 8, Scale: 800, Trials: 3, SizeMB: 8})
+	if len(tb.Notes) == 0 {
+		t.Fatalf("no summary note:\n%s", tb.String())
+	}
+	t.Log("\n" + tb.String())
+}
+
+func TestAblationChunkerTheta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tb := AblationChunkerTheta(AblationOpts{Seed: 9, Scale: 800})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d:\n%s", len(tb.Rows), tb.String())
+	}
+	t.Log("\n" + tb.String())
+}

@@ -1,0 +1,466 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"unidrive/internal/baseline"
+	"unidrive/internal/netsim"
+	"unidrive/internal/stats"
+	"unidrive/internal/workload"
+)
+
+// BatchOpts sizes the end-to-end batch-sync experiments (§7.2).
+type BatchOpts struct {
+	Seed  int64
+	Scale float64
+	// Files and FileKB define the batch (paper: 100 × 1 MB).
+	Files  int
+	FileKB int
+	// Sources limits the upload locations (0 = all seven EC2 nodes).
+	Sources int
+}
+
+func (o *BatchOpts) fill() {
+	if o.Files <= 0 {
+		o.Files = 100
+	}
+	if o.FileKB <= 0 {
+		o.FileKB = 1024
+	}
+	if o.Sources <= 0 || o.Sources > len(netsim.EC2Locations()) {
+		o.Sources = len(netsim.EC2Locations())
+	}
+}
+
+// batchApproach extends approach with batch upload/download used by
+// Fig 11: upload the whole batch at the source, then download it all
+// at a destination.
+type batchApproach interface {
+	name() string
+	uploadBatch(ctx context.Context, files []workload.File) (time.Duration, error)
+	downloadBatch(ctx context.Context, c *Cluster, loc netsim.LocationProfile, files []workload.File) (time.Duration, error)
+}
+
+// uniBatch runs the real client for batches.
+type uniBatch struct {
+	c   *Cluster
+	uni *uniDriveApproach
+}
+
+func newUniBatch(c *Cluster, loc netsim.LocationProfile, who string) (*uniBatch, error) {
+	uni, err := newUniDrive(c, loc, who)
+	if err != nil {
+		return nil, err
+	}
+	return &uniBatch{c: c, uni: uni}, nil
+}
+
+func (u *uniBatch) name() string { return "UniDrive" }
+
+func (u *uniBatch) uploadBatch(ctx context.Context, files []workload.File) (time.Duration, error) {
+	for _, f := range files {
+		if err := u.uni.upFolder.WriteFile(f.Name, f.Data, u.c.Clock.Now()); err != nil {
+			return 0, err
+		}
+	}
+	rep, err := u.uni.up.SyncOnce(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return rep.AvailableDuration, nil
+}
+
+func (u *uniBatch) downloadBatch(ctx context.Context, c *Cluster, loc netsim.LocationProfile, files []workload.File) (time.Duration, error) {
+	down, err := newUniDrive(c, loc, "dl-"+loc.Name)
+	if err != nil {
+		return 0, err
+	}
+	return c.Time(func() error {
+		if _, err := down.down.SyncOnce(ctx); err != nil {
+			return err
+		}
+		for _, f := range files {
+			fi, err := down.downFolder.Stat(f.Name)
+			if err != nil {
+				return fmt.Errorf("missing %s after sync: %w", f.Name, err)
+			}
+			if fi.Size != int64(len(f.Data)) {
+				return fmt.Errorf("%s has %d bytes, want %d", f.Name, fi.Size, len(f.Data))
+			}
+		}
+		return nil
+	})
+}
+
+// nativeBatch uploads/downloads every file through one provider's app.
+type nativeBatch struct {
+	provider string
+	c        *Cluster
+	up       *baseline.Native
+}
+
+func newNativeBatch(c *Cluster, loc netsim.LocationProfile, provider string) *nativeBatch {
+	n := newNative(c, loc, provider)
+	return &nativeBatch{provider: provider, c: c, up: n.up}
+}
+
+func (n *nativeBatch) name() string { return n.provider }
+
+func (n *nativeBatch) uploadBatch(ctx context.Context, files []workload.File) (time.Duration, error) {
+	return n.c.Time(func() error {
+		for _, f := range files {
+			if err := n.up.Upload(ctx, f.Name, f.Data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (n *nativeBatch) downloadBatch(ctx context.Context, c *Cluster, loc netsim.LocationProfile, files []workload.File) (time.Duration, error) {
+	down := newNative(c, loc, n.provider).down
+	return c.Time(func() error {
+		for _, f := range files {
+			data, err := down.Download(ctx, f.Name)
+			if err != nil {
+				return err
+			}
+			if len(data) != len(f.Data) {
+				return fmt.Errorf("%s corrupted", f.Name)
+			}
+		}
+		return nil
+	})
+}
+
+// benchBatch runs the coded multi-cloud benchmark per file.
+type benchBatch struct {
+	c  *Cluster
+	up *baseline.Benchmark
+}
+
+func newBenchBatch(c *Cluster, loc netsim.LocationProfile) (*benchBatch, error) {
+	b, err := newBenchmarkApproach(c, loc)
+	if err != nil {
+		return nil, err
+	}
+	return &benchBatch{c: c, up: b.up}, nil
+}
+
+func (b *benchBatch) name() string { return "benchmark" }
+
+func (b *benchBatch) uploadBatch(ctx context.Context, files []workload.File) (time.Duration, error) {
+	return b.c.Time(func() error {
+		for _, f := range files {
+			if err := b.up.Upload(ctx, f.Name, f.Data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (b *benchBatch) downloadBatch(ctx context.Context, c *Cluster, loc netsim.LocationProfile, files []workload.File) (time.Duration, error) {
+	down, err := baseline.NewBenchmark(c.Clouds(c.Host(loc)), paperParams, 5)
+	if err != nil {
+		return 0, err
+	}
+	return c.Time(func() error {
+		for _, f := range files {
+			data, err := down.Download(ctx, f.Name, len(f.Data))
+			if err != nil {
+				return err
+			}
+			if len(data) != len(f.Data) {
+				return fmt.Errorf("%s corrupted", f.Name)
+			}
+		}
+		return nil
+	})
+}
+
+// intuitiveBatch spreads blocks over five native apps.
+type intuitiveBatch struct {
+	c  *Cluster
+	up *baseline.Intuitive
+}
+
+func newIntuitiveBatch(c *Cluster, loc netsim.LocationProfile) *intuitiveBatch {
+	host := c.Host(loc)
+	clouds := c.Clouds(host)
+	var natives []*baseline.Native
+	for i, cl := range clouds {
+		p := c.CloudNames()[i]
+		natives = append(natives, baseline.NewNative(cl,
+			baseline.NativeConns(p), c.Size(4<<20), baseline.NativeOverheadCalls(p)))
+	}
+	return &intuitiveBatch{c: c, up: baseline.NewIntuitive(natives, c.Size(256<<10))}
+}
+
+func (iv *intuitiveBatch) name() string { return "intuitive" }
+
+func (iv *intuitiveBatch) uploadBatch(ctx context.Context, files []workload.File) (time.Duration, error) {
+	return iv.c.Time(func() error {
+		for _, f := range files {
+			if err := iv.up.Upload(ctx, f.Name, f.Data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (iv *intuitiveBatch) downloadBatch(ctx context.Context, c *Cluster, loc netsim.LocationProfile, files []workload.File) (time.Duration, error) {
+	down := newIntuitiveBatch(c, loc).up
+	return c.Time(func() error {
+		for _, f := range files {
+			data, err := down.Download(ctx, f.Name, len(f.Data))
+			if err != nil {
+				return err
+			}
+			if len(data) != len(f.Data) {
+				return fmt.Errorf("%s corrupted", f.Name)
+			}
+		}
+		return nil
+	})
+}
+
+// Fig11BatchSync reproduces Figure 11 and Table 2: end-to-end time to
+// sync a batch of files from each source node to the other nodes, for
+// UniDrive, the three US native apps, the benchmark and the intuitive
+// multi-cloud. End-to-end time = upload (available) time at the
+// source + download time at the destination. The second returned
+// table is Table 2: the variance of each approach's average sync time
+// across locations.
+func Fig11BatchSync(opts BatchOpts) []*Table {
+	opts.fill()
+	locations := netsim.EC2Locations()[:opts.Sources]
+	providers := []string{netsim.Dropbox, netsim.OneDrive, netsim.GDrive}
+	names := append(append([]string{"UniDrive"}, providers...), "benchmark", "intuitive")
+
+	fig := &Table{
+		Title: fmt.Sprintf("Fig 11: end-to-end sync of %d x %dKB files, avg (min-max) seconds over destinations",
+			opts.Files, opts.FileKB),
+		Headers: append([]string{"source"}, names...),
+	}
+	ctx := context.Background()
+	perApproachMeans := make(map[string][]float64)
+
+	for _, src := range locations {
+		// Fresh world per source so approaches see fresh stores.
+		c := NewCluster(opts.Seed+int64(len(fig.Rows)), opts.Scale)
+		files := workload.Batch(opts.Seed, opts.Files, c.Size(opts.FileKB<<10))
+
+		apps := make([]batchApproach, 0, len(names))
+		uni, err := newUniBatch(c, src, "src-"+src.Name)
+		if err != nil {
+			fig.AddNote("%s: %v", src.Name, err)
+			continue
+		}
+		apps = append(apps, uni)
+		for _, p := range providers {
+			apps = append(apps, newNativeBatch(c, src, p))
+		}
+		bb, err := newBenchBatch(c, src)
+		if err != nil {
+			fig.AddNote("%s: %v", src.Name, err)
+			continue
+		}
+		apps = append(apps, bb, newIntuitiveBatch(c, src))
+
+		row := []string{src.Name}
+		for _, a := range apps {
+			upDur, err := a.uploadBatch(ctx, files)
+			if err != nil {
+				row = append(row, "failed")
+				continue
+			}
+			var e2e []float64
+			for _, dst := range locations {
+				if dst.Name == src.Name {
+					continue
+				}
+				dl, err := a.downloadBatch(ctx, c, dst, files)
+				if err != nil {
+					continue
+				}
+				e2e = append(e2e, (upDur + dl).Seconds())
+			}
+			if len(e2e) == 0 {
+				row = append(row, "failed")
+				continue
+			}
+			s := stats.Summarize(e2e)
+			perApproachMeans[a.name()] = append(perApproachMeans[a.name()], s.Mean)
+			row = append(row, fmt.Sprintf("%.0f (%.0f-%.0f)", s.Mean, s.Min, s.Max))
+		}
+		fig.AddRow(row...)
+	}
+
+	// Shape notes: UniDrive vs the best CCS per source.
+	var speedups []float64
+	for i := range perApproachMeans["UniDrive"] {
+		best := 0.0
+		for _, p := range providers {
+			if i >= len(perApproachMeans[p]) {
+				continue
+			}
+			if m := perApproachMeans[p][i]; best == 0 || m < best {
+				best = m
+			}
+		}
+		if best > 0 {
+			speedups = append(speedups, best/perApproachMeans["UniDrive"][i])
+		}
+	}
+	fig.AddNote("avg UniDrive e2e speedup over the fastest CCS per source: %.2fx (paper: 1.33x)",
+		stats.Mean(speedups))
+
+	tab2 := &Table{
+		Title:   "Table 2: variance of average sync time across locations [s^2]",
+		Headers: []string{"approach", "variance", "mean [s]"},
+	}
+	for _, n := range names {
+		means := perApproachMeans[n]
+		tab2.AddRow(n, fmt.Sprintf("%.1f", stats.Variance(means)), fmt.Sprintf("%.1f", stats.Mean(means)))
+	}
+	if v, u := stats.Variance(perApproachMeans[netsim.GDrive]), stats.Variance(perApproachMeans["UniDrive"]); u > 0 && v > u {
+		tab2.AddNote("UniDrive variance %.1fx below gdrive's (paper: several-fold below every CCS)", v/u)
+	}
+	return []*Table{fig, tab2}
+}
+
+// Fig12CumulativeSync reproduces Figure 12: the cumulative number of
+// synced files over time while a batch syncs from Oregon to Virginia.
+// UniDrive's curve should be the steepest and near-linear.
+func Fig12CumulativeSync(opts BatchOpts) *Table {
+	opts.fill()
+	src := netsim.EC2Location("oregon")
+	dst := netsim.EC2Location("virginia")
+	providers := []string{netsim.GDrive} // fastest CCS stands in for the single-cloud curve
+	ctx := context.Background()
+
+	type seriesPoint struct {
+		t     float64
+		count int
+	}
+	series := make(map[string][]seriesPoint)
+
+	run := func(name string, c *Cluster, upload func() error, download func(record func(int))) {
+		if err := upload(); err != nil {
+			series[name] = nil
+			return
+		}
+		start := c.Clock.Now()
+		download(func(count int) {
+			series[name] = append(series[name], seriesPoint{
+				t: c.Clock.Now().Sub(start).Seconds(), count: count,
+			})
+		})
+	}
+
+	// UniDrive: poll the destination folder during one big sync.
+	{
+		c := NewCluster(opts.Seed, opts.Scale)
+		files := workload.Batch(opts.Seed, opts.Files, c.Size(opts.FileKB<<10))
+		uni, err := newUniBatch(c, src, "fig12")
+		if err == nil {
+			run("UniDrive", c, func() error {
+				_, err := uni.uploadBatch(ctx, files)
+				return err
+			}, func(record func(int)) {
+				down, err := newUniDrive(c, dst, "fig12-dst")
+				if err != nil {
+					return
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					_, _ = down.down.SyncOnce(ctx)
+				}()
+				for {
+					select {
+					case <-done:
+						infos, _ := down.downFolder.ListAll()
+						record(len(infos))
+						return
+					default:
+					}
+					infos, _ := down.downFolder.ListAll()
+					record(len(infos))
+					c.Clock.Sleep(5 * time.Second)
+				}
+			})
+		}
+	}
+
+	// Single-cloud native and the benchmark: per-file downloads.
+	for _, p := range providers {
+		c := NewCluster(opts.Seed, opts.Scale)
+		files := workload.Batch(opts.Seed, opts.Files, c.Size(opts.FileKB<<10))
+		nb := newNativeBatch(c, src, p)
+		run(p, c, func() error {
+			_, err := nb.uploadBatch(ctx, files)
+			return err
+		}, func(record func(int)) {
+			down := newNative(c, dst, p).down
+			count := 0
+			for _, f := range files {
+				if _, err := down.Download(ctx, f.Name); err == nil {
+					count++
+				}
+				record(count)
+			}
+		})
+	}
+	{
+		c := NewCluster(opts.Seed, opts.Scale)
+		files := workload.Batch(opts.Seed, opts.Files, c.Size(opts.FileKB<<10))
+		bb, err := newBenchBatch(c, src)
+		if err == nil {
+			run("benchmark", c, func() error {
+				_, err := bb.uploadBatch(ctx, files)
+				return err
+			}, func(record func(int)) {
+				down, err := baseline.NewBenchmark(c.Clouds(c.Host(dst)), paperParams, 5)
+				if err != nil {
+					return
+				}
+				count := 0
+				for _, f := range files {
+					if _, err := down.Download(ctx, f.Name, len(f.Data)); err == nil {
+						count++
+					}
+					record(count)
+				}
+			})
+		}
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 12: cumulative synced files over time (Oregon -> Virginia, %d files)", opts.Files),
+		Headers: []string{"approach", "25% at [s]", "50% at [s]", "75% at [s]", "100% at [s]"},
+	}
+	for _, name := range []string{"UniDrive", netsim.GDrive, "benchmark"} {
+		pts := series[name]
+		if len(pts) == 0 {
+			t.AddRow(name, "failed", "", "", "")
+			continue
+		}
+		timeFor := func(frac float64) string {
+			target := int(frac * float64(opts.Files))
+			for _, p := range pts {
+				if p.count >= target {
+					return fmt.Sprintf("%.0f", p.t)
+				}
+			}
+			return "-"
+		}
+		t.AddRow(name, timeFor(0.25), timeFor(0.5), timeFor(0.75), timeFor(1.0))
+	}
+	t.AddNote("UniDrive's quartile times should be smallest and near-evenly spaced (steady, steep curve)")
+	return t
+}

@@ -1,0 +1,213 @@
+// Package experiments reproduces every table and figure of the
+// UniDrive paper's measurement study (§3.2) and evaluation (§7) on
+// the simulation substrate. Each experiment is a function returning
+// printable Tables; cmd/unibench runs them from the command line and
+// bench_test.go wraps them as Go benchmarks.
+//
+// Absolute numbers differ from the paper (the substrate is a
+// simulator, not PlanetLab/EC2), but the *shapes* — who wins, by
+// roughly what factor, where the crossovers are — are the
+// reproduction targets; EXPERIMENTS.md records paper-vs-measured for
+// each one.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/netsim"
+	"unidrive/internal/vclock"
+)
+
+// DefaultScale is the simulated-to-wall time compression used by the
+// experiments. 200× keeps per-sleep OS jitter well under 1 simulated
+// second while letting a month-long measurement study finish in
+// seconds.
+const DefaultScale = 200
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Notes carries shape observations (speedups, ratios) computed
+	// by the experiment for EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString("== " + t.Title + " ==\n")
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// DefaultDataScale shrinks the bytes that actually move through the
+// simulator. Both workload sizes and link rates are divided by it, so
+// simulated durations still correspond to the NOMINAL sizes, while
+// real CPU work (hashing, coding, copying) — which a scaled clock
+// would otherwise magnify into fake simulated seconds — shrinks
+// proportionally.
+const DefaultDataScale = 8
+
+// Cluster is a simulated multi-cloud world shared by any number of
+// vantage points: one network environment, one clock, one set of
+// provider-side stores.
+type Cluster struct {
+	Clock     *vclock.Scaled
+	Net       *netsim.Env
+	Stores    map[string]*cloudsim.Store
+	DataScale int
+	names     []string
+}
+
+// ClusterOpts configures a Cluster.
+type ClusterOpts struct {
+	Seed  int64
+	Scale float64
+	// DataScale divides workload bytes and link rates (0 uses
+	// DefaultDataScale; use 1 for byte-exact runs).
+	DataScale int
+}
+
+// NewCluster builds a five-cloud world with the given seed and time
+// scale (0 uses DefaultScale).
+func NewCluster(seed int64, scale float64) *Cluster {
+	return NewClusterWith(ClusterOpts{Seed: seed, Scale: scale})
+}
+
+// NewClusterWith builds a five-cloud world with full options.
+func NewClusterWith(opts ClusterOpts) *Cluster {
+	if opts.Scale <= 0 {
+		opts.Scale = DefaultScale
+	}
+	if opts.DataScale <= 0 {
+		opts.DataScale = DefaultDataScale
+	}
+	clk := vclock.NewScaled(opts.Scale)
+	ds := float64(opts.DataScale)
+	profiles := netsim.FiveClouds()
+	for i := range profiles {
+		profiles[i].UpMbps /= ds
+		profiles[i].DownMbps /= ds
+		profiles[i].PerConnMbps /= ds
+		profiles[i].FailurePerMB *= ds // failure-per-NOMINAL-MB preserved
+	}
+	cfg := netsim.DefaultConfig(opts.Seed)
+	cfg.QuantumBytes = int64(float64(cfg.QuantumBytes) / ds)
+	env := netsim.NewEnv(clk, cfg, profiles)
+	stores := make(map[string]*cloudsim.Store, len(profiles))
+	var names []string
+	for _, p := range profiles {
+		stores[p.Name] = cloudsim.NewStore(p.Name, 0)
+		names = append(names, p.Name)
+	}
+	return &Cluster{Clock: clk, Net: env, Stores: stores, DataScale: opts.DataScale, names: names}
+}
+
+// Size converts a nominal byte count into the scaled-down size that
+// actually moves through the simulator.
+func (c *Cluster) Size(nominal int) int {
+	s := nominal / c.DataScale
+	if s < 1 && nominal > 0 {
+		s = 1
+	}
+	return s
+}
+
+// CloudNames returns the five provider names in profile order.
+func (c *Cluster) CloudNames() []string {
+	return append([]string(nil), c.names...)
+}
+
+// Host attaches a new device at the location, scaling the client's
+// access-link rates to match the cluster's data scale.
+func (c *Cluster) Host(loc netsim.LocationProfile) *netsim.Host {
+	loc.UplinkMbps /= float64(c.DataScale)
+	loc.DownlinkMbps /= float64(c.DataScale)
+	return c.Net.NewHost(loc)
+}
+
+// Clouds returns shaped connectors from the host to every cloud, in
+// profile order.
+func (c *Cluster) Clouds(h *netsim.Host) []cloud.Interface {
+	out := make([]cloud.Interface, 0, len(c.names))
+	for _, n := range c.names {
+		out = append(out, cloudsim.NewClient(c.Stores[n], h))
+	}
+	return out
+}
+
+// USCloudNames returns the three US providers (used by the temporal
+// and failure studies).
+func (c *Cluster) USCloudNames() []string {
+	return []string{netsim.Dropbox, netsim.OneDrive, netsim.GDrive}
+}
+
+// Time measures the simulated duration of f.
+func (c *Cluster) Time(f func() error) (time.Duration, error) {
+	start := c.Clock.Now()
+	err := f()
+	return c.Clock.Now().Sub(start), err
+}
+
+// Seconds renders a duration as seconds with two decimals.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// Mbps renders a throughput (bytes over duration) in Mbit/s.
+func Mbps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / d.Seconds()
+}

@@ -1,0 +1,438 @@
+// Package localfs abstracts the local sync folder that UniDrive
+// watches and writes (paper §4, "local file system interface").
+//
+// Two implementations are provided: Dir, backed by a real directory
+// on the operating system, and Mem, an in-memory folder used by the
+// simulation experiments (where hundreds of devices exist in one
+// process) and by tests.
+//
+// Change detection is a polling Scanner rather than OS-specific
+// notification: it compares successive folder states and emits the
+// paper's ChangedFileList records (add / edit / delete).
+package localfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"unidrive/internal/cloud"
+)
+
+// ErrNotExist reports a missing file.
+var ErrNotExist = errors.New("localfs: file does not exist")
+
+// FileInfo describes one file in the folder.
+type FileInfo struct {
+	// Path is the slash-separated path relative to the folder root.
+	Path string
+	// Size is the file length in bytes.
+	Size int64
+	// ModTime is the local modification time.
+	ModTime time.Time
+}
+
+// Folder is the sync-folder contract used by the UniDrive client.
+// Implementations must be safe for concurrent use.
+type Folder interface {
+	// ReadFile returns the content of the file at path, or an error
+	// wrapping ErrNotExist.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or replaces the file at path, creating parent
+	// directories as needed.
+	WriteFile(path string, data []byte, modTime time.Time) error
+	// Remove deletes the file at path. Removing a missing file is not
+	// an error (sync may race with the user).
+	Remove(path string) error
+	// Stat returns the file's info, or an error wrapping ErrNotExist.
+	Stat(path string) (FileInfo, error)
+	// ListAll returns every file in the folder (recursively), sorted
+	// by path.
+	ListAll() ([]FileInfo, error)
+}
+
+// Mem is an in-memory Folder.
+type Mem struct {
+	mu    sync.RWMutex
+	files map[string]memFile
+}
+
+type memFile struct {
+	data    []byte
+	modTime time.Time
+}
+
+var _ Folder = (*Mem)(nil)
+
+// NewMem returns an empty in-memory folder.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string]memFile)}
+}
+
+// ReadFile implements Folder.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("read %q: %w", path, ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile implements Folder.
+func (m *Mem) WriteFile(path string, data []byte, modTime time.Time) error {
+	if err := cloud.ValidatePath(path); err != nil {
+		return fmt.Errorf("localfs: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = memFile{data: append([]byte(nil), data...), modTime: modTime}
+	return nil
+}
+
+// Remove implements Folder.
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+	return nil
+}
+
+// Stat implements Folder.
+func (m *Mem) Stat(path string) (FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	f, ok := m.files[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("stat %q: %w", path, ErrNotExist)
+	}
+	return FileInfo{Path: path, Size: int64(len(f.data)), ModTime: f.modTime}, nil
+}
+
+// ListAll implements Folder.
+func (m *Mem) ListAll() ([]FileInfo, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]FileInfo, 0, len(m.files))
+	for p, f := range m.files {
+		out = append(out, FileInfo{Path: p, Size: int64(len(f.data)), ModTime: f.modTime})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Dir is a Folder backed by a directory on the real file system.
+type Dir struct {
+	root string
+}
+
+var _ Folder = (*Dir)(nil)
+
+// NewDir returns a Folder rooted at the given directory, creating it
+// if necessary.
+func NewDir(root string) (*Dir, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("localfs: creating root: %w", err)
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("localfs: resolving root: %w", err)
+	}
+	return &Dir{root: abs}, nil
+}
+
+// Root returns the absolute root directory.
+func (d *Dir) Root() string { return d.root }
+
+// resolve maps a folder-relative slash path to an OS path, rejecting
+// escapes.
+func (d *Dir) resolve(path string) (string, error) {
+	if err := cloud.ValidatePath(path); err != nil {
+		return "", fmt.Errorf("localfs: %w", err)
+	}
+	return filepath.Join(d.root, filepath.FromSlash(path)), nil
+}
+
+// ReadFile implements Folder.
+func (d *Dir) ReadFile(path string) ([]byte, error) {
+	p, err := d.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("read %q: %w", path, ErrNotExist)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("localfs: read %q: %w", path, err)
+	}
+	return data, nil
+}
+
+// WriteFile implements Folder.
+func (d *Dir) WriteFile(path string, data []byte, modTime time.Time) error {
+	p, err := d.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("localfs: mkdir for %q: %w", path, err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return fmt.Errorf("localfs: write %q: %w", path, err)
+	}
+	if !modTime.IsZero() {
+		if err := os.Chtimes(p, modTime, modTime); err != nil {
+			return fmt.Errorf("localfs: chtimes %q: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// Remove implements Folder.
+func (d *Dir) Remove(path string) error {
+	p, err := d.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("localfs: remove %q: %w", path, err)
+	}
+	return nil
+}
+
+// Stat implements Folder.
+func (d *Dir) Stat(path string) (FileInfo, error) {
+	p, err := d.resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fi, err := os.Stat(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		return FileInfo{}, fmt.Errorf("stat %q: %w", path, ErrNotExist)
+	}
+	if err != nil {
+		return FileInfo{}, fmt.Errorf("localfs: stat %q: %w", path, err)
+	}
+	return FileInfo{Path: path, Size: fi.Size(), ModTime: fi.ModTime()}, nil
+}
+
+// ListAll implements Folder.
+func (d *Dir) ListAll() ([]FileInfo, error) {
+	var out []FileInfo
+	err := filepath.WalkDir(d.root, func(p string, entry fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if entry.IsDir() {
+			// Skip UniDrive's own state directory.
+			if entry.Name() == ".unidrive" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(d.root, p)
+		if err != nil {
+			return err
+		}
+		fi, err := entry.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, FileInfo{
+			Path:    filepath.ToSlash(rel),
+			Size:    fi.Size(),
+			ModTime: fi.ModTime(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("localfs: walking %q: %w", d.root, err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// ChangeKind classifies one detected folder change.
+type ChangeKind int
+
+// Change kinds.
+const (
+	Added ChangeKind = iota + 1
+	Modified
+	Removed
+)
+
+// String names the kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case Added:
+		return "added"
+	case Modified:
+		return "modified"
+	case Removed:
+		return "removed"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Event is one detected change.
+type Event struct {
+	Kind ChangeKind
+	Info FileInfo // for Removed, only Path is set
+}
+
+// Scanner detects folder changes by polling: each Scan compares the
+// folder against the previous state and returns the events in
+// deterministic (path-sorted) order. The UniDrive client ignores
+// paths for which it itself performed the write (see Suppress).
+type Scanner struct {
+	folder Folder
+
+	mu       sync.Mutex
+	prev     map[string]FileInfo
+	suppress map[string]suppressedState
+}
+
+type suppressedState struct {
+	size    int64
+	modTime time.Time
+	removed bool
+}
+
+// NewScanner returns a Scanner over folder. The first Scan reports
+// every existing file as Added, unless Prime is called first.
+func NewScanner(folder Folder) *Scanner {
+	return &Scanner{
+		folder:   folder,
+		prev:     make(map[string]FileInfo),
+		suppress: make(map[string]suppressedState),
+	}
+}
+
+// Prime records the current folder state as already-known so the next
+// Scan reports only subsequent changes.
+func (s *Scanner) Prime() error {
+	infos, err := s.folder.ListAll()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prev = make(map[string]FileInfo, len(infos))
+	for _, fi := range infos {
+		s.prev[fi.Path] = fi
+	}
+	return nil
+}
+
+// Suppress tells the scanner that UniDrive itself wrote (or removed)
+// path, so the resulting change must not be re-reported as a local
+// edit. It must be called with the exact state that was written.
+func (s *Scanner) Suppress(path string, size int64, modTime time.Time, removed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.suppress[path] = suppressedState{size: size, modTime: modTime, removed: removed}
+}
+
+// StatePrefix is UniDrive's private directory inside the sync folder;
+// the scanner never reports paths under it (the Dir folder also hides
+// it from ListAll, but in-memory folders do not).
+const StatePrefix = ".unidrive/"
+
+// Restore replaces the scanner's known-state baseline, used when a
+// client restarts with persisted state: edits made while it was not
+// running are then detected as changes against the saved baseline.
+func (s *Scanner) Restore(infos []FileInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prev = make(map[string]FileInfo, len(infos))
+	for _, fi := range infos {
+		s.prev[fi.Path] = fi
+	}
+}
+
+// Baseline returns the scanner's current known state, sorted by path,
+// for persistence.
+func (s *Scanner) Baseline() []FileInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FileInfo, 0, len(s.prev))
+	for _, fi := range s.prev {
+		out = append(out, fi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Scan compares the folder against the previous scan and returns the
+// changes.
+func (s *Scanner) Scan() ([]Event, error) {
+	infos, err := s.folder.ListAll()
+	if err != nil {
+		return nil, err
+	}
+	kept := infos[:0]
+	for _, fi := range infos {
+		if !strings.HasPrefix(fi.Path, StatePrefix) {
+			kept = append(kept, fi)
+		}
+	}
+	infos = kept
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	current := make(map[string]FileInfo, len(infos))
+	for _, fi := range infos {
+		current[fi.Path] = fi
+	}
+
+	var events []Event
+	for path, fi := range current {
+		prev, existed := s.prev[path]
+		if sup, ok := s.suppress[path]; ok && !sup.removed &&
+			sup.size == fi.Size && sup.modTime.Equal(fi.ModTime) {
+			delete(s.suppress, path)
+			continue
+		}
+		switch {
+		case !existed:
+			events = append(events, Event{Kind: Added, Info: fi})
+		case prev.Size != fi.Size || !prev.ModTime.Equal(fi.ModTime):
+			events = append(events, Event{Kind: Modified, Info: fi})
+		}
+	}
+	for path := range s.prev {
+		if _, still := current[path]; still {
+			continue
+		}
+		if sup, ok := s.suppress[path]; ok && sup.removed {
+			delete(s.suppress, path)
+			continue
+		}
+		events = append(events, Event{Kind: Removed, Info: FileInfo{Path: path}})
+	}
+	s.prev = current
+	sort.Slice(events, func(i, j int) bool { return events[i].Info.Path < events[j].Info.Path })
+	return events, nil
+}
+
+// ConflictCopyPath derives the path used to materialize the losing
+// version of a conflicted file, mirroring the convention of
+// commercial sync clients.
+func ConflictCopyPath(path, device string) string {
+	dir, base := cloud.SplitPath(path)
+	ext := ""
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base, ext = base[:i], base[i:]
+	}
+	return cloud.JoinPath(dir, fmt.Sprintf("%s (conflicted copy from %s)%s", base, device, ext))
+}

@@ -1,0 +1,151 @@
+package meta
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DiffEntry records how one path changed between two images.
+type DiffEntry struct {
+	Path string
+	// Before is the path's primary snapshot in the older image (nil
+	// if absent), After in the newer one.
+	Before, After *Snapshot
+}
+
+// Diff maps path -> change between two images. Only paths whose
+// primary snapshot content differs appear.
+type Diff map[string]DiffEntry
+
+// DiffImages performs the tree comparison of paper §5.2: it
+// de-serializes to per-path snapshots and reports every path whose
+// content differs between from and to.
+func DiffImages(from, to *Image) Diff {
+	d := make(Diff)
+	seen := make(map[string]bool, len(from.Files)+len(to.Files))
+	for p := range from.Files {
+		seen[p] = true
+	}
+	for p := range to.Files {
+		seen[p] = true
+	}
+	for p := range seen {
+		before := from.Lookup(p).Current()
+		after := to.Lookup(p).Current()
+		if before.ContentEquals(after) {
+			continue
+		}
+		d[p] = DiffEntry{Path: p, Before: before, After: after}
+	}
+	return d
+}
+
+// Paths returns the diff's paths in sorted order.
+func (d Diff) Paths() []string {
+	out := make([]string, 0, len(d))
+	for p := range d {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Conflict reports one path updated both locally and in the cloud
+// with different content. Both versions are retained in the merged
+// image; the user resolves later (paper §5.2).
+type Conflict struct {
+	Path string
+	// Local and Cloud are the two competing snapshots. Either may be
+	// nil when one side deleted the file.
+	Local, Cloud *Snapshot
+}
+
+// MergeResult is the outcome of a three-way merge.
+type MergeResult struct {
+	// Image is the merged metadata v_u.
+	Image *Image
+	// Conflicts lists paths with coincidental updates whose versions
+	// were both retained.
+	Conflicts []Conflict
+}
+
+// Merge performs the three-way merge of paper §5.2 (Algorithm 1 line
+// 7): given the original metadata vo, the local metadata vl (vo +
+// local updates), and the cloud metadata vc (vo + some other device's
+// committed updates), it computes ΔL = diff(vo, vl) and ΔC =
+// diff(vo, vc), applies non-overlapping updates from both sides, and
+// retains both versions for paths updated on both sides with
+// different content.
+//
+// The segment pools are unioned (block locations merged per segment)
+// and refcounts recomputed, so content for every retained snapshot —
+// including conflict copies — stays recoverable.
+func Merge(vo, vl, vc *Image) (*MergeResult, error) {
+	if vo == nil || vl == nil || vc == nil {
+		return nil, fmt.Errorf("meta: Merge requires non-nil images")
+	}
+	deltaL := DiffImages(vo, vl)
+	deltaC := DiffImages(vo, vc)
+
+	// Start from the cloud image (it is the committed truth for
+	// everything the local device did not touch), then overlay local
+	// updates.
+	merged := vc.Clone()
+	// Union in the local pool so local-only segments are present.
+	for _, seg := range vl.Segments {
+		merged.UpsertSegment(seg)
+	}
+	for _, seg := range vo.Segments {
+		merged.UpsertSegment(seg)
+	}
+
+	var conflicts []Conflict
+	for p, dl := range deltaL {
+		dc, both := deltaC[p]
+		if !both {
+			// Local-only update: apply ΔL to vc.
+			applySnapshot(merged, p, dl.After)
+			continue
+		}
+		// Coincidental update. Identical content merges trivially.
+		if dl.After.ContentEquals(dc.After) {
+			continue // vc already carries it
+		}
+		// True conflict: retain both versions (local first).
+		entry := &FileEntry{Path: p}
+		if dl.After != nil {
+			entry.Snapshots = append(entry.Snapshots, dl.After.Clone())
+		}
+		if dc.After != nil {
+			entry.Snapshots = append(entry.Snapshots, dc.After.Clone())
+		}
+		if len(entry.Snapshots) == 0 {
+			// Both sides deleted: a delete/delete "conflict" is no
+			// conflict at all.
+			continue
+		}
+		merged.Files[p] = entry
+		conflicts = append(conflicts, Conflict{Path: p, Local: dl.After, Cloud: dc.After})
+	}
+	sort.Slice(conflicts, func(i, j int) bool { return conflicts[i].Path < conflicts[j].Path })
+
+	merged.RecountRefs()
+	return &MergeResult{Image: merged, Conflicts: conflicts}, nil
+}
+
+// applySnapshot installs snap at path p in im; a nil snap means the
+// local side deleted the file, which is recorded as a tombstone
+// derived from the previous snapshot's metadata.
+func applySnapshot(im *Image, p string, snap *Snapshot) {
+	if snap == nil {
+		// Deletion with no tombstone details available.
+		prev := im.Lookup(p).Current()
+		ts := &Snapshot{Path: p, Deleted: true}
+		if prev != nil {
+			ts.Device = prev.Device
+		}
+		im.SetSnapshot(ts)
+		return
+	}
+	im.SetSnapshot(snap.Clone())
+}

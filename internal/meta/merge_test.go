@@ -1,0 +1,243 @@
+package meta
+
+import (
+	"testing"
+	"time"
+)
+
+// base builds the common ancestor image used by merge tests.
+func base() *Image {
+	im := NewImage()
+	im.Version = 1
+	im.SetSnapshot(snap("shared.txt", "d0", "s0"))
+	im.SetSnapshot(snap("mine.txt", "d0", "sm"))
+	im.SetSnapshot(snap("theirs.txt", "d0", "st"))
+	im.UpsertSegment(seg("s0"))
+	im.UpsertSegment(seg("sm"))
+	im.UpsertSegment(seg("st"))
+	im.RecountRefs()
+	return im
+}
+
+func TestDiffImages(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.SetSnapshot(snap("mine.txt", "d1", "sm2"))
+	vl.SetSnapshot(snap("new.txt", "d1", "sn"))
+	vl.Tombstone("theirs.txt", "d1", time.Unix(0, 0))
+	d := DiffImages(vo, vl)
+	if len(d) != 3 {
+		t.Fatalf("diff paths = %v, want 3", d.Paths())
+	}
+	if e := d["mine.txt"]; e.Before == nil || e.After == nil {
+		t.Fatal("edit should have before and after")
+	}
+	if e := d["new.txt"]; e.Before != nil || e.After == nil {
+		t.Fatal("add should have only after")
+	}
+	if e := d["theirs.txt"]; e.After == nil || !e.After.Deleted {
+		t.Fatal("delete should show a tombstone after")
+	}
+	if len(DiffImages(vo, vo.Clone())) != 0 {
+		t.Fatal("identical images must have empty diff")
+	}
+}
+
+func TestMergeDisjointUpdates(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.SetSnapshot(snap("mine.txt", "dLocal", "sm2"))
+	vl.UpsertSegment(seg("sm2"))
+	vc := vo.Clone()
+	vc.SetSnapshot(snap("theirs.txt", "dRemote", "st2"))
+	vc.UpsertSegment(seg("st2"))
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts = %v, want none", res.Conflicts)
+	}
+	m := res.Image
+	if m.Lookup("mine.txt").Current().SegmentIDs[0] != "sm2" {
+		t.Fatal("local update lost")
+	}
+	if m.Lookup("theirs.txt").Current().SegmentIDs[0] != "st2" {
+		t.Fatal("cloud update lost")
+	}
+	if m.Lookup("shared.txt").Current().SegmentIDs[0] != "s0" {
+		t.Fatal("untouched file changed")
+	}
+	// Both new segments present and counted.
+	if m.Segments["sm2"].RefCount != 1 || m.Segments["st2"].RefCount != 1 {
+		t.Fatal("merged segment refcounts wrong")
+	}
+}
+
+func TestMergeIdenticalConcurrentUpdates(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.SetSnapshot(snap("shared.txt", "dLocal", "same"))
+	vl.UpsertSegment(seg("same"))
+	vc := vo.Clone()
+	vc.SetSnapshot(snap("shared.txt", "dRemote", "same"))
+	vc.UpsertSegment(seg("same"))
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatal("identical content updates must not conflict")
+	}
+	if res.Image.Lookup("shared.txt").Conflicted() {
+		t.Fatal("entry should have a single snapshot")
+	}
+}
+
+func TestMergeConflictRetainsBothVersions(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.SetSnapshot(snap("shared.txt", "dLocal", "sv1"))
+	vl.UpsertSegment(seg("sv1"))
+	vc := vo.Clone()
+	vc.SetSnapshot(snap("shared.txt", "dRemote", "sv2"))
+	vc.UpsertSegment(seg("sv2"))
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 || res.Conflicts[0].Path != "shared.txt" {
+		t.Fatalf("conflicts = %+v", res.Conflicts)
+	}
+	entry := res.Image.Lookup("shared.txt")
+	if !entry.Conflicted() || len(entry.Snapshots) != 2 {
+		t.Fatalf("entry = %+v, want both versions retained", entry)
+	}
+	// Local version first, per Merge's documented order.
+	if entry.Snapshots[0].Device != "dLocal" || entry.Snapshots[1].Device != "dRemote" {
+		t.Fatalf("snapshot order = %s,%s", entry.Snapshots[0].Device, entry.Snapshots[1].Device)
+	}
+	// Content for both retained versions stays referenced ("file
+	// content data corresponding to conflict entries are also
+	// retained").
+	if res.Image.Segments["sv1"].RefCount != 1 || res.Image.Segments["sv2"].RefCount != 1 {
+		t.Fatal("conflict copies must keep their segments alive")
+	}
+}
+
+func TestMergeDeleteVersusEditConflicts(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.Tombstone("shared.txt", "dLocal", time.Unix(5, 0))
+	vc := vo.Clone()
+	vc.SetSnapshot(snap("shared.txt", "dRemote", "sv2"))
+	vc.UpsertSegment(seg("sv2"))
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v, want delete-vs-edit conflict", res.Conflicts)
+	}
+	entry := res.Image.Lookup("shared.txt")
+	if len(entry.Snapshots) != 2 {
+		t.Fatalf("want tombstone and edit retained, got %d snapshots", len(entry.Snapshots))
+	}
+}
+
+func TestMergeBothDeleteNoConflict(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.Tombstone("shared.txt", "dLocal", time.Unix(5, 0))
+	vc := vo.Clone()
+	vc.Tombstone("shared.txt", "dRemote", time.Unix(6, 0))
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatal("delete/delete must not conflict")
+	}
+	if cur := res.Image.Lookup("shared.txt").Current(); cur == nil || !cur.Deleted {
+		t.Fatal("merged entry should be a tombstone")
+	}
+}
+
+func TestMergeLocalOnlyEqualsLocal(t *testing.T) {
+	vo := base()
+	vl := vo.Clone()
+	vl.SetSnapshot(snap("new.txt", "dLocal", "sn"))
+	vl.UpsertSegment(seg("sn"))
+	vc := vo.Clone() // no cloud changes
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Image.Lookup("new.txt").Current() == nil {
+		t.Fatal("local add lost")
+	}
+	if len(DiffImages(vl, res.Image)) != 0 {
+		t.Fatal("merge with unchanged cloud should equal local image")
+	}
+}
+
+func TestMergeUnionsBlockLocations(t *testing.T) {
+	// Two devices uploaded different blocks of the same segment; the
+	// merged pool must know both locations.
+	vo := base()
+	vl := vo.Clone()
+	vl.Segments["s0"].AddBlock(0, "cloudA")
+	vc := vo.Clone()
+	vc.Segments["s0"].AddBlock(1, "cloudB")
+
+	res, err := Merge(vo, vl, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Image.Segments["s0"]
+	if !s.HasBlock(0, "cloudA") || !s.HasBlock(1, "cloudB") {
+		t.Fatalf("block locations not unioned: %+v", s.Blocks)
+	}
+}
+
+func TestMergeNilImages(t *testing.T) {
+	if _, err := Merge(nil, NewImage(), NewImage()); err == nil {
+		t.Fatal("nil vo accepted")
+	}
+	if _, err := Merge(NewImage(), nil, NewImage()); err == nil {
+		t.Fatal("nil vl accepted")
+	}
+	if _, err := Merge(NewImage(), NewImage(), nil); err == nil {
+		t.Fatal("nil vc accepted")
+	}
+}
+
+func TestMergeCommutesOnDisjointEdits(t *testing.T) {
+	// Property: for disjoint edits, merging (vo, A, B) and (vo, B, A)
+	// yield content-identical images.
+	vo := base()
+	a := vo.Clone()
+	a.SetSnapshot(snap("mine.txt", "dA", "sa"))
+	a.UpsertSegment(seg("sa"))
+	b := vo.Clone()
+	b.SetSnapshot(snap("theirs.txt", "dB", "sb"))
+	b.UpsertSegment(seg("sb"))
+
+	r1, err := Merge(vo, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Merge(vo, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(DiffImages(r1.Image, r2.Image)) != 0 {
+		t.Fatal("disjoint merge is not commutative")
+	}
+}

@@ -1,0 +1,223 @@
+package meta
+
+import (
+	"testing"
+	"time"
+)
+
+func snap(path, device string, segIDs ...string) *Snapshot {
+	var size int64
+	for range segIDs {
+		size += 100
+	}
+	return &Snapshot{
+		Path: path, Device: device, Size: size,
+		ModTime: time.Unix(1000, 0), SegmentIDs: segIDs,
+	}
+}
+
+func seg(id string, blocks ...BlockLocation) *Segment {
+	return &Segment{ID: id, Length: 100, K: 3, N: 10, Blocks: blocks}
+}
+
+func TestBlockName(t *testing.T) {
+	if got := BlockName("abc", 7); got != "abc.7" {
+		t.Fatalf("BlockName = %q", got)
+	}
+}
+
+func TestSegmentBlockOps(t *testing.T) {
+	s := seg("s1")
+	s.AddBlock(0, "c1")
+	s.AddBlock(1, "c2")
+	s.AddBlock(0, "c1") // duplicate ignored
+	if len(s.Blocks) != 2 {
+		t.Fatalf("Blocks = %v", s.Blocks)
+	}
+	if !s.HasBlock(0, "c1") || s.HasBlock(0, "c2") {
+		t.Fatal("HasBlock wrong")
+	}
+	if got := s.BlocksOn("c1"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("BlocksOn(c1) = %v", got)
+	}
+	if removed := s.RemoveBlocksOn("c1"); removed != 1 {
+		t.Fatalf("RemoveBlocksOn = %d", removed)
+	}
+	if s.HasBlock(0, "c1") {
+		t.Fatal("block survived removal")
+	}
+}
+
+func TestSnapshotContentEquals(t *testing.T) {
+	a := snap("f", "d1", "s1", "s2")
+	b := snap("f", "d2", "s1", "s2") // different device, same content
+	if !a.ContentEquals(b) {
+		t.Fatal("content-equal snapshots reported different")
+	}
+	c := snap("f", "d1", "s1", "s3")
+	if a.ContentEquals(c) {
+		t.Fatal("different segments reported equal")
+	}
+	var nilSnap *Snapshot
+	if nilSnap.ContentEquals(a) || a.ContentEquals(nil) {
+		t.Fatal("nil comparison wrong")
+	}
+	if !nilSnap.ContentEquals(nil) {
+		t.Fatal("nil == nil should hold")
+	}
+	del := snap("f", "d1", "s1", "s2")
+	del.Deleted = true
+	if a.ContentEquals(del) {
+		t.Fatal("tombstone equal to live snapshot")
+	}
+}
+
+func TestImageCloneIndependence(t *testing.T) {
+	im := NewImage()
+	im.SetSnapshot(snap("a.txt", "d1", "s1"))
+	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}))
+	cl := im.Clone()
+	cl.SetSnapshot(snap("a.txt", "d2", "s9"))
+	cl.Segments["s1"].AddBlock(5, "c5")
+	if im.Files["a.txt"].Current().Device != "d1" {
+		t.Fatal("clone mutation leaked into original (files)")
+	}
+	if im.Segments["s1"].HasBlock(5, "c5") {
+		t.Fatal("clone mutation leaked into original (segments)")
+	}
+}
+
+func TestPathsExcludesTombstones(t *testing.T) {
+	im := NewImage()
+	im.SetSnapshot(snap("b.txt", "d1", "s1"))
+	im.SetSnapshot(snap("a.txt", "d1", "s2"))
+	im.Tombstone("b.txt", "d1", time.Unix(0, 0))
+	got := im.Paths()
+	if len(got) != 1 || got[0] != "a.txt" {
+		t.Fatalf("Paths = %v", got)
+	}
+}
+
+func TestUpsertSegmentMergesBlocks(t *testing.T) {
+	im := NewImage()
+	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}))
+	im.UpsertSegment(seg("s1", BlockLocation{1, "c2"}))
+	s := im.Segments["s1"]
+	if len(s.Blocks) != 2 {
+		t.Fatalf("blocks = %v", s.Blocks)
+	}
+}
+
+func TestRecountRefsAndDedup(t *testing.T) {
+	im := NewImage()
+	// Two files share segment s1 — dedup via refcounting.
+	im.SetSnapshot(snap("a", "d", "s1", "s2"))
+	im.SetSnapshot(snap("b", "d", "s1"))
+	im.UpsertSegment(seg("s1"))
+	im.UpsertSegment(seg("s2"))
+	im.UpsertSegment(seg("dead"))
+	dead := im.RecountRefs()
+	if im.Segments["s1"].RefCount != 2 {
+		t.Fatalf("s1 refcount = %d, want 2", im.Segments["s1"].RefCount)
+	}
+	if im.Segments["s2"].RefCount != 1 {
+		t.Fatalf("s2 refcount = %d, want 1", im.Segments["s2"].RefCount)
+	}
+	if len(dead) != 1 || dead[0] != "dead" {
+		t.Fatalf("dead = %v", dead)
+	}
+	im.DropSegments(dead)
+	if _, ok := im.Segments["dead"]; ok {
+		t.Fatal("dead segment not dropped")
+	}
+	// Deleting file b drops s1 to 1.
+	im.Tombstone("b", "d", time.Unix(0, 0))
+	im.RecountRefs()
+	if im.Segments["s1"].RefCount != 1 {
+		t.Fatalf("s1 refcount after delete = %d, want 1", im.Segments["s1"].RefCount)
+	}
+}
+
+func TestRefCountIncludesConflictCopies(t *testing.T) {
+	im := NewImage()
+	im.Files["f"] = &FileEntry{Path: "f", Snapshots: []*Snapshot{
+		snap("f", "d1", "s1"), snap("f", "d2", "s2"),
+	}}
+	im.UpsertSegment(seg("s1"))
+	im.UpsertSegment(seg("s2"))
+	im.RecountRefs()
+	if im.Segments["s1"].RefCount != 1 || im.Segments["s2"].RefCount != 1 {
+		t.Fatal("conflict copies must keep their segments referenced")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	im := NewImage()
+	im.SetSnapshot(snap("a", "d", "s1", "s2"))
+	im.SetSnapshot(snap("b", "d", "s1"))
+	im.UpsertSegment(seg("s1"))
+	im.UpsertSegment(seg("s2"))
+	im.RecountRefs()
+	if got := im.TotalBytes(); got != 200 { // s1 counted once
+		t.Fatalf("TotalBytes = %d, want 200 (dedup)", got)
+	}
+}
+
+func TestImageEncodeDecodeRoundTrip(t *testing.T) {
+	im := NewImage()
+	im.Version = 42
+	im.Device = "laptop"
+	im.SetSnapshot(snap("dir/a.txt", "laptop", "s1"))
+	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}, BlockLocation{1, "c2"}))
+	im.RecountRefs()
+	data, err := im.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeImage(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 42 || got.Device != "laptop" {
+		t.Fatalf("header = %d/%s", got.Version, got.Device)
+	}
+	if got.Files["dir/a.txt"].Current().SegmentIDs[0] != "s1" {
+		t.Fatal("file entry lost")
+	}
+	if !got.Segments["s1"].HasBlock(1, "c2") {
+		t.Fatal("segment blocks lost")
+	}
+}
+
+func TestDecodeImageEmptyObject(t *testing.T) {
+	got, err := DecodeImage([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Files == nil || got.Segments == nil {
+		t.Fatal("maps not initialized on decode")
+	}
+	if _, err := DecodeImage([]byte(`not json`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestVersionStampRoundTrip(t *testing.T) {
+	im := NewImage()
+	im.Version = 7
+	im.Device = "phone"
+	data, err := im.Stamp().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeVersionStamp(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != (VersionStamp{Device: "phone", Version: 7}) {
+		t.Fatalf("stamp = %+v", v)
+	}
+	if _, err := DecodeVersionStamp([]byte("x")); err == nil {
+		t.Fatal("bad stamp accepted")
+	}
+}

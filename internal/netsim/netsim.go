@@ -1,0 +1,519 @@
+// Package netsim models the wide-area network conditions between
+// client devices and consumer cloud storage services.
+//
+// The paper's measurement study (§3.2) found that CCS networking
+// performance is (a) spatially diverse — up to 60× average disparity
+// between clouds, with no cloud winning everywhere; (b) temporally
+// fluctuating — up to 17× max/min daily spread with no predictable
+// pattern; (c) unreliable in a size-dependent way — larger transfers
+// fail more often; and (d) failure events of different clouds are
+// negatively correlated. UniDrive's over-provisioning and dynamic
+// scheduling exist precisely to exploit these properties, so this
+// package reproduces each of them:
+//
+//   - Spatial diversity comes from per-(location, cloud) base-rate
+//     factors in the built-in profiles (see profiles.go).
+//   - Temporal fluctuation comes from a deterministic, seeded
+//     per-epoch log-normal multiplier with occasional deep fades.
+//   - Failures are sampled per request with a probability that grows
+//     with transfer size.
+//   - Negative failure correlation comes from rotating "degradation
+//     episodes": in any epoch (at most) one cloud is degraded, so one
+//     cloud's bad minutes are the others' normal minutes.
+//
+// All waiting goes through a vclock.Clock, so experiments run the
+// model in scaled time.
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/vclock"
+)
+
+// Direction distinguishes upload from download paths, which the paper
+// measured (and found) to be only weakly correlated.
+type Direction int
+
+// Transfer directions.
+const (
+	Upload Direction = iota + 1
+	Download
+)
+
+// String returns "upload" or "download".
+func (d Direction) String() string {
+	switch d {
+	case Upload:
+		return "upload"
+	case Download:
+		return "download"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// CloudProfile describes one CCS provider's network behaviour as seen
+// through its public Web APIs.
+type CloudProfile struct {
+	// Name identifies the provider.
+	Name string
+	// UpMbps and DownMbps are the provider-side per-account capacity
+	// (Mbit/s) at a location with spatial factor 1.0.
+	UpMbps, DownMbps float64
+	// PerConnMbps caps a single HTTP connection's throughput.
+	PerConnMbps float64
+	// BaseFailure is the per-request transient failure probability
+	// for a small request at a well-connected location.
+	BaseFailure float64
+	// FailurePerMB adds failure probability per transferred MB
+	// (paper Fig 4: larger files fail more).
+	FailurePerMB float64
+	// APILatency is the fixed per-request setup latency of the Web
+	// API (TLS, auth, redirects). It dominates small transfers
+	// (paper Fig 2 and Fig 15).
+	APILatency time.Duration
+	// Sigma is the log-normal fluctuation parameter for the temporal
+	// bandwidth multiplier.
+	Sigma float64
+	// FadeProb is the per-epoch probability of a deep fade.
+	FadeProb float64
+}
+
+// LocationProfile describes a client vantage point.
+type LocationProfile struct {
+	// Name identifies the location (e.g. "virginia").
+	Name string
+	// UplinkMbps and DownlinkMbps are the client's access link.
+	UplinkMbps, DownlinkMbps float64
+	// CloudFactor scales each cloud's base rate as seen from here
+	// (spatial diversity). A missing entry means factor 1.0; a factor
+	// of 0 means the cloud is unreachable from this location (e.g.
+	// blocked by a national firewall).
+	CloudFactor map[string]float64
+	// FailureBoost multiplies every cloud's failure probability as
+	// seen from this location (paper: ~99% success from US nodes to
+	// US clouds, ~90% from China).
+	FailureBoost float64
+}
+
+// Config bundles the environment-wide simulation parameters.
+type Config struct {
+	// Seed drives every random draw; equal seeds reproduce runs.
+	Seed int64
+	// EpochLength is the period of the temporal fluctuation process.
+	EpochLength time.Duration
+	// QuantumBytes is the transfer progress step between rate
+	// re-evaluations.
+	QuantumBytes int64
+	// DegradedRateFactor scales bandwidth during a degradation
+	// episode, and DegradedFailureBoost scales failure probability.
+	DegradedRateFactor   float64
+	DegradedFailureBoost float64
+	// DegradedProb is the probability that an epoch has a degraded
+	// cloud at all.
+	DegradedProb float64
+	// RequestOverheadBytes models HTTP header overhead per API call,
+	// counted by the traffic meters (paper Table 3).
+	RequestOverheadBytes int64
+}
+
+// DefaultConfig returns the parameters used by the experiments.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                 seed,
+		EpochLength:          30 * time.Second,
+		QuantumBytes:         256 * 1024,
+		DegradedRateFactor:   0.3,
+		DegradedFailureBoost: 6,
+		DegradedProb:         0.35,
+		RequestOverheadBytes: 600,
+	}
+}
+
+// Env is a simulated wide-area network connecting any number of hosts
+// (client devices at locations) to a set of clouds. It is safe for
+// concurrent use.
+type Env struct {
+	cfg    Config
+	clock  vclock.Clock
+	start  time.Time
+	clouds map[string]CloudProfile
+	order  []string // sorted cloud names, for stable degraded-cloud rotation
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	outages map[string]bool
+}
+
+// NewEnv creates a network environment over the given clouds.
+func NewEnv(clock vclock.Clock, cfg Config, clouds []CloudProfile) *Env {
+	m := make(map[string]CloudProfile, len(clouds))
+	order := make([]string, 0, len(clouds))
+	for _, c := range clouds {
+		m[c.Name] = c
+		order = append(order, c.Name)
+	}
+	sort.Strings(order)
+	return &Env{
+		cfg:     cfg,
+		clock:   clock,
+		start:   clock.Now(),
+		clouds:  m,
+		order:   order,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		outages: make(map[string]bool),
+	}
+}
+
+// Clock returns the environment's clock.
+func (e *Env) Clock() vclock.Clock { return e.clock }
+
+// Clouds returns the sorted names of the modeled clouds.
+func (e *Env) Clouds() []string {
+	out := make([]string, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+// SetOutage marks a cloud as completely unavailable (or available
+// again). Used by the reliability experiments (paper Fig 14).
+func (e *Env) SetOutage(cloudName string, down bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.outages[cloudName] = down
+}
+
+// Available reports whether the cloud is currently reachable.
+func (e *Env) Available(cloudName string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return !e.outages[cloudName]
+}
+
+func (e *Env) randFloat() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rng.Float64()
+}
+
+// epoch returns the index of the current fluctuation epoch.
+func (e *Env) epoch() int64 {
+	return int64(e.clock.Now().Sub(e.start) / e.cfg.EpochLength)
+}
+
+// hashUnit returns a deterministic pseudo-random value in [0,1)
+// derived from the environment seed and the given labels. Equal
+// inputs always give equal outputs, which makes the fluctuation
+// process reproducible and consistent across concurrent observers.
+func (e *Env) hashUnit(labels ...any) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d", e.cfg.Seed)
+	for _, l := range labels {
+		fmt.Fprintf(h, "|%v", l)
+	}
+	// FNV alone does not avalanche a short trailing change (e.g. an
+	// epoch counter) into the high bits; finish with a splitmix64
+	// style mixer so nearby inputs give independent outputs.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// gaussPair converts two uniform draws into one standard normal via
+// Box–Muller.
+func gaussPair(u1, u2 float64) float64 {
+	if u1 <= 0 {
+		u1 = 1e-12
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// tempMultiplier returns the temporal bandwidth multiplier for the
+// given cloud/direction at epoch ep: a log-normal draw, with an
+// occasional deep fade, both deterministic in (seed, cloud, dir, ep).
+func (e *Env) tempMultiplier(cp CloudProfile, dir Direction, ep int64) float64 {
+	sigma := cp.Sigma
+	if sigma == 0 {
+		sigma = 0.4
+	}
+	g := gaussPair(e.hashUnit("mult1", cp.Name, dir, ep), e.hashUnit("mult2", cp.Name, dir, ep))
+	mult := math.Exp(sigma * g)
+	if e.hashUnit("fade", cp.Name, dir, ep) < cp.FadeProb {
+		depth := 0.05 + 0.25*e.hashUnit("fadedepth", cp.Name, dir, ep)
+		mult *= depth
+	}
+	return mult
+}
+
+// degradedCloud returns the name of the cloud degraded during epoch
+// ep, or "" when none is. At most one cloud is degraded per epoch,
+// which is what produces the negative cross-cloud failure correlation
+// observed in the paper's Table 1.
+func (e *Env) degradedCloud(ep int64) string {
+	if len(e.order) == 0 {
+		return ""
+	}
+	if e.hashUnit("degraded?", ep) >= e.cfg.DegradedProb {
+		return ""
+	}
+	idx := int(e.hashUnit("degradedwho", ep) * float64(len(e.order)))
+	if idx >= len(e.order) {
+		idx = len(e.order) - 1
+	}
+	return e.order[idx]
+}
+
+// Degraded reports whether cloudName is in a degradation episode now.
+// Exposed for the measurement-study experiments.
+func (e *Env) Degraded(cloudName string) bool {
+	return e.degradedCloud(e.epoch()) == cloudName
+}
+
+// mbpsToBytesPerSec converts megabits per second to bytes per second.
+func mbpsToBytesPerSec(mbps float64) float64 { return mbps * 125000 }
+
+// Host is a client device attached to the environment at a location.
+// All of a device's connections to all clouds flow through its Host,
+// which enforces the shared access-link capacity.
+type Host struct {
+	env *Env
+	loc LocationProfile
+
+	mu          sync.Mutex
+	activeTotal map[Direction]int
+	activeCloud map[string]map[Direction]int
+
+	up, down cloudTrafficMeter
+}
+
+type cloudTrafficMeter struct {
+	bytes int64
+	calls int64
+}
+
+// NewHost attaches a new device at the given location.
+func (e *Env) NewHost(loc LocationProfile) *Host {
+	if loc.FailureBoost == 0 {
+		loc.FailureBoost = 1
+	}
+	return &Host{
+		env:         e,
+		loc:         loc,
+		activeTotal: make(map[Direction]int),
+		activeCloud: make(map[string]map[Direction]int),
+	}
+}
+
+// Location returns the host's location name.
+func (h *Host) Location() string { return h.loc.Name }
+
+// Env returns the environment the host is attached to.
+func (h *Host) Env() *Env { return h.env }
+
+// Traffic reports the total bytes and API calls issued by this host,
+// split by direction. Upload counts request payloads, download counts
+// response payloads; both include per-request protocol overhead.
+func (h *Host) Traffic() (upBytes, downBytes, calls int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.up.bytes, h.down.bytes, h.up.calls + h.down.calls
+}
+
+func (h *Host) acquire(cloudName string, dir Direction) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.activeTotal[dir]++
+	byDir := h.activeCloud[cloudName]
+	if byDir == nil {
+		byDir = make(map[Direction]int)
+		h.activeCloud[cloudName] = byDir
+	}
+	byDir[dir]++
+}
+
+func (h *Host) release(cloudName string, dir Direction) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.activeTotal[dir]--
+	h.activeCloud[cloudName][dir]--
+}
+
+func (h *Host) meter(dir Direction, bytes int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch dir {
+	case Upload:
+		h.up.bytes += bytes
+		h.up.calls++
+	case Download:
+		h.down.bytes += bytes
+		h.down.calls++
+	}
+}
+
+// currentRate returns this connection's instantaneous rate in
+// bytes/second: the minimum of the per-connection cap, the fair share
+// of the cloud's (fluctuating) per-account capacity, and the fair
+// share of the client's access link.
+func (h *Host) currentRate(cp CloudProfile, dir Direction) float64 {
+	ep := h.env.epoch()
+	spatial := 1.0
+	if f, ok := h.loc.CloudFactor[cp.Name]; ok {
+		spatial = f
+	}
+	if spatial <= 0 {
+		return 0
+	}
+	base := cp.UpMbps
+	link := h.loc.UplinkMbps
+	if dir == Download {
+		base = cp.DownMbps
+		link = h.loc.DownlinkMbps
+	}
+	mult := h.env.tempMultiplier(cp, dir, ep)
+	if h.env.degradedCloud(ep) == cp.Name {
+		mult *= h.env.cfg.DegradedRateFactor
+	}
+	cloudCap := mbpsToBytesPerSec(base * spatial * mult)
+
+	h.mu.Lock()
+	nCloud := h.activeCloud[cp.Name][dir]
+	nTotal := h.activeTotal[dir]
+	h.mu.Unlock()
+	if nCloud < 1 {
+		nCloud = 1
+	}
+	if nTotal < 1 {
+		nTotal = 1
+	}
+
+	// The per-connection cap fluctuates with the same network
+	// conditions as the aggregate capacity — a congested path slows
+	// single connections too.
+	rate := mbpsToBytesPerSec(cp.PerConnMbps * mult)
+	if share := cloudCap / float64(nCloud); share < rate {
+		rate = share
+	}
+	if share := mbpsToBytesPerSec(link) / float64(nTotal); share < rate {
+		rate = share
+	}
+	if rate < 1 {
+		rate = 1 // never fully stall; model a trickle
+	}
+	return rate
+}
+
+// failureProb returns the probability that a request of the given
+// size fails transiently right now.
+func (h *Host) failureProb(cp CloudProfile, size int64) float64 {
+	p := cp.BaseFailure + cp.FailurePerMB*float64(size)/(1<<20)
+	p *= h.loc.FailureBoost
+	if h.env.degradedCloud(h.env.epoch()) == cp.Name {
+		p *= h.env.cfg.DegradedFailureBoost
+	}
+	if p > 0.95 {
+		p = 0.95
+	}
+	return p
+}
+
+// Do simulates one Web API request from this host to the named cloud:
+// it waits out the API latency, streams size bytes in the given
+// direction under the capacity-sharing model, and returns
+// cloud.ErrUnavailable during outages or cloud.ErrTransient on a
+// sampled transient failure. A transient failure still costs time:
+// the connection progresses to a random point before breaking, as
+// real broken transfers do. Metadata-only calls pass size 0.
+func (h *Host) Do(ctx context.Context, cloudName string, dir Direction, size int64) error {
+	env := h.env
+	cp, ok := env.clouds[cloudName]
+	if !ok {
+		return fmt.Errorf("netsim: unknown cloud %q", cloudName)
+	}
+	if !env.Available(cloudName) {
+		return fmt.Errorf("netsim: %s is down: %w", cloudName, cloud.ErrUnavailable)
+	}
+	if spatial, ok := h.loc.CloudFactor[cloudName]; ok && spatial <= 0 {
+		return fmt.Errorf("netsim: %s unreachable from %s: %w", cloudName, h.loc.Name, cloud.ErrUnavailable)
+	}
+
+	// API setup latency with mild jitter.
+	lat := cp.APILatency
+	if lat > 0 {
+		jitter := 0.5 + env.randFloat()
+		env.clock.Sleep(time.Duration(float64(lat) * jitter))
+	}
+
+	// Sample transient failure and, if failing, where in the
+	// transfer the connection breaks.
+	fails := env.randFloat() < h.failureProb(cp, size)
+	failPoint := int64(-1)
+	if fails {
+		failPoint = int64(env.randFloat() * float64(size))
+	}
+
+	h.acquire(cloudName, dir)
+	defer h.release(cloudName, dir)
+
+	quantum := env.cfg.QuantumBytes
+	if quantum <= 0 {
+		quantum = 256 * 1024
+	}
+	// Sleep toward a cumulative deadline rather than per-quantum
+	// durations: real sleeps always overshoot a little, and under a
+	// scaled clock that overhead would be multiplied by the scale
+	// factor. With a running deadline each sleep absorbs the previous
+	// one's overshoot, so only the final sleep's overhead remains.
+	deadline := env.clock.Now()
+	sleepQuantum := func(bytes int64) {
+		rate := h.currentRate(cp, dir)
+		deadline = deadline.Add(time.Duration(float64(bytes) / rate * float64(time.Second)))
+		if wait := deadline.Sub(env.clock.Now()); wait > 0 {
+			env.clock.Sleep(wait)
+		}
+	}
+	var sent int64
+	for sent < size {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !env.Available(cloudName) {
+			h.meter(dir, sent+env.cfg.RequestOverheadBytes)
+			return fmt.Errorf("netsim: %s went down mid-transfer: %w", cloudName, cloud.ErrUnavailable)
+		}
+		step := quantum
+		if remaining := size - sent; remaining < step {
+			step = remaining
+		}
+		if fails && sent+step > failPoint {
+			// Transfer the portion up to the break, then fail.
+			if partial := failPoint - sent; partial > 0 {
+				sleepQuantum(partial)
+			}
+			h.meter(dir, failPoint+env.cfg.RequestOverheadBytes)
+			return fmt.Errorf("netsim: %s request broke at byte %d/%d: %w",
+				cloudName, failPoint, size, cloud.ErrTransient)
+		}
+		sleepQuantum(step)
+		sent += step
+	}
+	if fails && size == 0 {
+		h.meter(dir, env.cfg.RequestOverheadBytes)
+		return fmt.Errorf("netsim: %s request failed: %w", cloudName, cloud.ErrTransient)
+	}
+	h.meter(dir, size+env.cfg.RequestOverheadBytes)
+	return nil
+}

@@ -1,0 +1,425 @@
+// Package qlock implements UniDrive's quorum-based distributed
+// mutual-exclusion lock (paper §5.2).
+//
+// The lock serializes metadata commits from different devices using
+// nothing but the five file-access Web APIs. A device attempting to
+// lock uploads an EMPTY flag file named "lock_<device>_<stamp>" into
+// a dedicated lock directory on every cloud, then lists that
+// directory on each cloud: it holds a cloud's lock iff every listed
+// lock file is its own. Holding a majority (quorum) of clouds wins;
+// otherwise the device withdraws its files everywhere and retries
+// after a random backoff.
+//
+// The protocol needs only read-after-write list consistency from each
+// cloud. It requires no global clock: timestamps inside lock names
+// are purely to make names unique, and obsolescence of a crashed
+// holder's lock is judged by each OBSERVER's own clock — a lock file
+// first seen more than ΔT ago (and still present) is broken by
+// deletion. A live holder prevents this by periodically refreshing:
+// uploading a freshly named lock file and removing the old one, which
+// resets every observer's first-seen time.
+package qlock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/vclock"
+)
+
+// DefaultExpiry is the paper's suggested obsolescence threshold ΔT.
+const DefaultExpiry = 120 * time.Second
+
+// DefaultLockDir is the dedicated lock directory. A dedicated
+// directory keeps List responses small (paper footnote 3: it holds at
+// most one file per device).
+const DefaultLockDir = ".unidrive/locks"
+
+// ErrNotAcquired reports that the quorum could not be won within the
+// configured attempts.
+var ErrNotAcquired = errors.New("qlock: lock not acquired")
+
+// ErrLost reports that a held lock is no longer valid (refresh could
+// not maintain the quorum).
+var ErrLost = errors.New("qlock: lock lost")
+
+// Config parametrizes a lock Manager.
+type Config struct {
+	// Device is this device's unique name.
+	Device string
+	// LockDir is the lock directory path on every cloud.
+	// Defaults to DefaultLockDir.
+	LockDir string
+	// Expiry is ΔT: how long a lock file may sit unrefreshed before
+	// other devices break it. Defaults to DefaultExpiry.
+	Expiry time.Duration
+	// RefreshInterval is how often a holder renews its lock files.
+	// Defaults to Expiry/4.
+	RefreshInterval time.Duration
+	// MaxAttempts bounds acquisition attempts; 0 means retry until
+	// the context is cancelled.
+	MaxAttempts int
+	// BackoffBase is the first random-backoff ceiling; it doubles
+	// every failed attempt up to BackoffMax. Defaults 200ms / 5s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+	// Seed drives backoff jitter; 0 derives one from the device name.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.LockDir == "" {
+		c.LockDir = DefaultLockDir
+	}
+	if c.Expiry <= 0 {
+		c.Expiry = DefaultExpiry
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = c.Expiry / 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 200 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+	if c.Seed == 0 {
+		for _, b := range []byte(c.Device) {
+			c.Seed = c.Seed*131 + int64(b)
+		}
+		c.Seed++
+	}
+}
+
+// Manager acquires and releases the metadata lock over a fixed set of
+// clouds. It is safe for concurrent use, though a device runs one
+// sync loop and thus normally one acquisition at a time.
+type Manager struct {
+	clouds []cloud.Interface
+	cfg    Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	counter   int64
+	firstSeen map[string]map[string]time.Time // cloud name -> lock file -> first seen
+}
+
+// New creates a lock manager. It panics if no clouds or no device
+// name are given (programming errors).
+func New(clouds []cloud.Interface, cfg Config) *Manager {
+	if len(clouds) == 0 {
+		panic("qlock: no clouds")
+	}
+	if cfg.Device == "" {
+		panic("qlock: empty device name")
+	}
+	cfg.fillDefaults()
+	return &Manager{
+		clouds:    clouds,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		firstSeen: make(map[string]map[string]time.Time),
+	}
+}
+
+// Quorum returns the number of clouds whose lock must be won: a
+// strict majority of all configured clouds.
+func (m *Manager) Quorum() int { return len(m.clouds)/2 + 1 }
+
+// lockFileName generates a fresh, unique lock file name for this
+// device. The embedded stamp is this device's local time plus a
+// counter; it is never compared across devices.
+func (m *Manager) lockFileName() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counter++
+	return fmt.Sprintf("lock_%s_%d.%d", m.cfg.Device, m.cfg.Clock.Now().UnixNano(), m.counter)
+}
+
+// ownedBy reports whether the lock file name belongs to device.
+func ownedBy(name, device string) bool {
+	return strings.HasPrefix(name, "lock_"+device+"_")
+}
+
+// isLockFile reports whether the entry looks like a lock flag file.
+func isLockFile(e cloud.Entry) bool {
+	return !e.IsDir && strings.HasPrefix(e.Name, "lock_")
+}
+
+// Acquire runs the acquisition protocol until it wins a quorum, the
+// context is cancelled, or MaxAttempts is exhausted. On success the
+// returned Lock is being refreshed in the background; the caller must
+// Release it.
+func (m *Manager) Acquire(ctx context.Context) (*Lock, error) {
+	backoff := m.cfg.BackoffBase
+	for attempt := 0; ; attempt++ {
+		if m.cfg.MaxAttempts > 0 && attempt >= m.cfg.MaxAttempts {
+			return nil, fmt.Errorf("%w after %d attempts", ErrNotAcquired, attempt)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("qlock: acquire: %w", err)
+		}
+		name := m.lockFileName()
+		won := m.tryOnce(ctx, name)
+		if won >= m.Quorum() {
+			l := &Lock{mgr: m, valid: true, stopRefresh: make(chan struct{})}
+			l.name = name
+			l.refreshDone.Add(1)
+			go l.refreshLoop()
+			return l, nil
+		}
+		// Withdraw (delete all own lock files, including this
+		// attempt's) and back off for a random time (paper §5.2).
+		m.deleteOwnLocks(ctx, "")
+		m.sleepJittered(ctx, backoff)
+		backoff *= 2
+		if backoff > m.cfg.BackoffMax {
+			backoff = m.cfg.BackoffMax
+		}
+	}
+}
+
+// tryOnce uploads the lock file everywhere and counts won clouds.
+func (m *Manager) tryOnce(ctx context.Context, name string) int {
+	path := cloud.JoinPath(m.cfg.LockDir, name)
+	var wg sync.WaitGroup
+	uploaded := make([]bool, len(m.clouds))
+	for i, c := range m.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			uploaded[i] = c.Upload(ctx, path, nil) == nil
+		}(i, c)
+	}
+	wg.Wait()
+
+	won := make([]bool, len(m.clouds))
+	for i, c := range m.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			if !uploaded[i] {
+				return
+			}
+			won[i] = m.checkCloud(ctx, c)
+		}(i, c)
+	}
+	wg.Wait()
+
+	count := 0
+	for _, w := range won {
+		if w {
+			count++
+		}
+	}
+	return count
+}
+
+// checkCloud lists the lock directory on c and reports whether this
+// device holds that cloud's lock: every (non-obsolete) lock file
+// present belongs to this device. Obsolete foreign lock files —
+// first seen by this manager more than Expiry ago — are broken
+// (deleted) and ignored.
+func (m *Manager) checkCloud(ctx context.Context, c cloud.Interface) bool {
+	entries, err := c.List(ctx, m.cfg.LockDir)
+	if err != nil {
+		return false
+	}
+	now := m.cfg.Clock.Now()
+	live := m.trackFirstSeen(c.Name(), entries, now)
+	ok := true
+	for _, name := range live {
+		if ownedBy(name, m.cfg.Device) {
+			continue
+		}
+		if now.Sub(m.firstSeenAt(c.Name(), name)) > m.cfg.Expiry {
+			// Obsolete: the holder crashed or lost connectivity.
+			// Break the lock (paper §5.2 lock-breaking).
+			_ = c.Delete(ctx, cloud.JoinPath(m.cfg.LockDir, name))
+			continue
+		}
+		ok = false
+	}
+	return ok
+}
+
+// trackFirstSeen records when each currently listed lock file was
+// first observed and forgets files that disappeared. It returns the
+// names of the currently listed lock files.
+func (m *Manager) trackFirstSeen(cloudName string, entries []cloud.Entry, now time.Time) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := m.firstSeen[cloudName]
+	if seen == nil {
+		seen = make(map[string]time.Time)
+		m.firstSeen[cloudName] = seen
+	}
+	current := make(map[string]bool, len(entries))
+	var names []string
+	for _, e := range entries {
+		if !isLockFile(e) {
+			continue
+		}
+		current[e.Name] = true
+		names = append(names, e.Name)
+		if _, ok := seen[e.Name]; !ok {
+			seen[e.Name] = now
+		}
+	}
+	for name := range seen {
+		if !current[name] {
+			delete(seen, name)
+		}
+	}
+	return names
+}
+
+func (m *Manager) firstSeenAt(cloudName, lockName string) time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.firstSeen[cloudName][lockName]
+}
+
+// deleteOwnLocks removes every lock file of this device (any stamp)
+// from all clouds. Used on withdraw, release, and refresh cleanup.
+func (m *Manager) deleteOwnLocks(ctx context.Context, except string) {
+	var wg sync.WaitGroup
+	for _, c := range m.clouds {
+		wg.Add(1)
+		go func(c cloud.Interface) {
+			defer wg.Done()
+			entries, err := c.List(ctx, m.cfg.LockDir)
+			if err != nil {
+				return
+			}
+			for _, e := range entries {
+				if !isLockFile(e) || !ownedBy(e.Name, m.cfg.Device) || e.Name == except {
+					continue
+				}
+				_ = c.Delete(ctx, cloud.JoinPath(m.cfg.LockDir, e.Name))
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func (m *Manager) sleepJittered(ctx context.Context, ceiling time.Duration) {
+	m.mu.Lock()
+	d := time.Duration(m.rng.Int63n(int64(ceiling)) + int64(ceiling)/4)
+	m.mu.Unlock()
+	select {
+	case <-ctx.Done():
+	case <-m.cfg.Clock.After(d):
+	}
+}
+
+// Lock is a held quorum lock. It refreshes itself in the background
+// until released.
+type Lock struct {
+	mgr         *Manager
+	stopRefresh chan struct{}
+	stopOnce    sync.Once
+	refreshDone sync.WaitGroup
+
+	mu    sync.Mutex
+	name  string // current lock file name
+	valid bool
+}
+
+// Valid reports whether the lock still held a quorum at the last
+// refresh. Callers must check Valid immediately before committing the
+// protected update.
+func (l *Lock) Valid() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.valid
+}
+
+// refreshLoop periodically renews the lock files so observers never
+// see them unrefreshed past ΔT. Renewal uploads a freshly named file
+// and deletes the old one, which resets every observer's first-seen
+// clock for this device's lock.
+func (l *Lock) refreshLoop() {
+	defer l.refreshDone.Done()
+	m := l.mgr
+	for {
+		select {
+		case <-l.stopRefresh:
+			return
+		case <-m.cfg.Clock.After(m.cfg.RefreshInterval):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		l.refreshOnce(ctx)
+		cancel()
+	}
+}
+
+// refreshOnce uploads a new lock file on all clouds and removes the
+// previous one. Validity while HOLDING is judged by whether the lock
+// files could be renewed on a quorum — not by the acquisition
+// criterion ("only my files present"): a contender's flag file may
+// sit in the directory for a moment before the contender sees ours
+// and withdraws, and that transient presence must not scare the
+// legitimate holder off.
+func (l *Lock) refreshOnce(ctx context.Context) {
+	m := l.mgr
+	newName := m.lockFileName()
+	l.mu.Lock()
+	oldName := l.name
+	l.mu.Unlock()
+
+	newPath := cloud.JoinPath(m.cfg.LockDir, newName)
+	oldPath := cloud.JoinPath(m.cfg.LockDir, oldName)
+	var wg sync.WaitGroup
+	held := make([]bool, len(m.clouds))
+	for i, c := range m.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			if err := c.Upload(ctx, newPath, nil); err != nil {
+				return
+			}
+			_ = c.Delete(ctx, oldPath)
+			// Renewed on this cloud (read-after-write: the new flag
+			// file is visible to every later List).
+			held[i] = true
+		}(i, c)
+	}
+	wg.Wait()
+
+	count := 0
+	for _, h := range held {
+		if h {
+			count++
+		}
+	}
+	l.mu.Lock()
+	l.name = newName
+	if count < m.Quorum() {
+		l.valid = false
+	}
+	l.mu.Unlock()
+}
+
+// Release stops refreshing and deletes this device's lock files from
+// all clouds. It is idempotent.
+func (l *Lock) Release(ctx context.Context) error {
+	l.stopOnce.Do(func() { close(l.stopRefresh) })
+	l.mu.Lock()
+	l.valid = false
+	l.mu.Unlock()
+	l.refreshDone.Wait()
+	l.mgr.deleteOwnLocks(ctx, "")
+	return nil
+}

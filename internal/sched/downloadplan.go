@@ -1,0 +1,248 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DownloadPlan schedules the retrieval of one segment (paper §6.2,
+// "Dynamic Scheduling for Download"): only K blocks are needed, from
+// whichever clouds, normal and over-provisioned parity blocks alike.
+// The engine keeps requesting the next needed block on the idle
+// connection of the fastest eligible cloud (per the Prober ranking);
+// the plan tracks which blocks are available where, which are done,
+// and hands out work so that exactly K distinct blocks are fetched.
+//
+// Over-provisioning pays off here: fast clouds hold more blocks than
+// their fair share, so they can supply more of the K.
+type DownloadPlan struct {
+	k int
+
+	mu sync.Mutex
+	// sources maps block ID -> clouds that hold it.
+	sources map[int][]string
+	// byCloud maps cloud -> block IDs it can still supply.
+	byCloud map[string][]int
+	// done and inflight track fetched / running blocks.
+	done     map[int]bool
+	inflight map[int]string
+	dead     map[string]bool
+}
+
+// NewDownloadPlan creates a plan to fetch any k of the blocks whose
+// locations are given as block ID -> clouds holding it.
+func NewDownloadPlan(k int, locations map[int][]string) (*DownloadPlan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sched: k = %d", k)
+	}
+	if len(locations) < k {
+		return nil, fmt.Errorf("sched: only %d block locations for k=%d", len(locations), k)
+	}
+	p := &DownloadPlan{
+		k:        k,
+		sources:  make(map[int][]string, len(locations)),
+		byCloud:  make(map[string][]int),
+		done:     make(map[int]bool),
+		inflight: make(map[int]string),
+		dead:     make(map[string]bool),
+	}
+	for b, clouds := range locations {
+		p.sources[b] = append([]string(nil), clouds...)
+		for _, c := range clouds {
+			p.byCloud[c] = append(p.byCloud[c], b)
+		}
+	}
+	return p, nil
+}
+
+// Clouds returns the clouds that hold at least one still-needed
+// block, for ranking by the prober.
+func (p *DownloadPlan) Clouds() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for c, blocks := range p.byCloud {
+		if p.dead[c] {
+			continue
+		}
+		for _, b := range blocks {
+			if !p.done[b] {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NextBlock returns a block for the cloud to download and marks it in
+// flight. It never hands out more than K total (done+inflight)
+// blocks: fetching more would waste bandwidth.
+func (p *DownloadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[cloudName] || len(p.done)+len(p.inflight) >= p.k || len(p.done) >= p.k {
+		return 0, false
+	}
+	// Prefer the block with the fewest remaining sources so rare
+	// blocks are not starved behind widely replicated ones.
+	best, bestSources := -1, int(^uint(0)>>1)
+	for _, b := range p.byCloud[cloudName] {
+		if p.done[b] {
+			continue
+		}
+		if _, running := p.inflight[b]; running {
+			continue
+		}
+		if n := p.liveSourcesLocked(b); n < bestSources {
+			best, bestSources = b, n
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	p.inflight[best] = cloudName
+	return best, true
+}
+
+func (p *DownloadPlan) liveSourcesLocked(b int) int {
+	n := 0
+	for _, c := range p.sources[b] {
+		if !p.dead[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete records a successful block download.
+func (p *DownloadPlan) Complete(cloudName string, blockID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight[blockID] != cloudName {
+		panic(fmt.Sprintf("sched: Complete(%s, %d) without matching NextBlock", cloudName, blockID))
+	}
+	delete(p.inflight, blockID)
+	p.done[blockID] = true
+}
+
+// Fail records a failed download; the block becomes assignable again
+// (from this or another holding cloud).
+func (p *DownloadPlan) Fail(cloudName string, blockID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight[blockID] != cloudName {
+		panic(fmt.Sprintf("sched: Fail(%s, %d) without matching NextBlock", cloudName, blockID))
+	}
+	delete(p.inflight, blockID)
+	// Remove this cloud as a source for the block: it just proved
+	// unable to supply it.
+	kept := p.byCloud[cloudName][:0]
+	for _, b := range p.byCloud[cloudName] {
+		if b != blockID {
+			kept = append(kept, b)
+		}
+	}
+	p.byCloud[cloudName] = kept
+	srcKept := p.sources[blockID][:0]
+	for _, c := range p.sources[blockID] {
+		if c != cloudName {
+			srcKept = append(srcKept, c)
+		}
+	}
+	p.sources[blockID] = srcKept
+}
+
+// MarkDead excludes a cloud from the plan.
+func (p *DownloadPlan) MarkDead(cloudName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead[cloudName] = true
+}
+
+// Done reports whether K blocks have been fetched.
+func (p *DownloadPlan) Done() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.done) >= p.k
+}
+
+// Stuck reports that the plan can no longer finish: fewer than K
+// blocks remain reachable (done + inflight + assignable from live
+// clouds).
+func (p *DownloadPlan) Stuck() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.done) >= p.k {
+		return false
+	}
+	reachable := len(p.done) + len(p.inflight)
+	for b := range p.sources {
+		if p.done[b] {
+			continue
+		}
+		if _, running := p.inflight[b]; running {
+			continue
+		}
+		if p.liveSourcesLocked(b) > 0 {
+			reachable++
+		}
+	}
+	return reachable < p.k
+}
+
+// HasWork reports whether cloudName holds at least one needed block
+// that is neither done nor in flight. Unlike NextBlock it ignores the
+// K-in-flight budget and does not mutate the plan — the dispatcher
+// uses it to decide which clouds could still contribute.
+func (p *DownloadPlan) HasWork(cloudName string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[cloudName] || len(p.done) >= p.k {
+		return false
+	}
+	for _, b := range p.byCloud[cloudName] {
+		if p.done[b] {
+			continue
+		}
+		if _, running := p.inflight[b]; running {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// CloudDone reports that cloudName will never get more work: it is
+// dead, the plan is done, or it holds no still-needed block.
+func (p *DownloadPlan) CloudDone(cloudName string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[cloudName] || len(p.done) >= p.k {
+		return true
+	}
+	for _, b := range p.byCloud[cloudName] {
+		if !p.done[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// InFlight returns the number of running downloads.
+func (p *DownloadPlan) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inflight)
+}
+
+// DoneBlocks returns the IDs of fetched blocks.
+func (p *DownloadPlan) DoneBlocks() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.done))
+	for b := range p.done {
+		out = append(out, b)
+	}
+	return out
+}

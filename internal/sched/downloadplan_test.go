@@ -1,0 +1,195 @@
+package sched
+
+import "testing"
+
+// threeOfSix is a typical post-upload layout: 6 blocks spread over 3
+// clouds, k=3 needed.
+func threeOfSix(t *testing.T) *DownloadPlan {
+	t.Helper()
+	plan, err := NewDownloadPlan(3, map[int][]string{
+		0: {"a"}, 1: {"b"}, 2: {"c"},
+		3: {"a"}, 4: {"b"}, 5: {"a", "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestDownloadPlanValidation(t *testing.T) {
+	if _, err := NewDownloadPlan(0, map[int][]string{0: {"a"}}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewDownloadPlan(3, map[int][]string{0: {"a"}}); err == nil {
+		t.Fatal("too few locations accepted")
+	}
+}
+
+func TestDownloadCompletesAfterK(t *testing.T) {
+	plan := threeOfSix(t)
+	fetched := 0
+	for _, c := range []string{"a", "b", "c"} {
+		b, ok := plan.NextBlock(c)
+		if !ok {
+			t.Fatalf("no block for %s", c)
+		}
+		plan.Complete(c, b)
+		fetched++
+	}
+	if fetched != 3 || !plan.Done() {
+		t.Fatalf("fetched %d, Done=%v", fetched, plan.Done())
+	}
+	// No more work is handed out after completion.
+	if _, ok := plan.NextBlock("a"); ok {
+		t.Fatal("work handed out after Done")
+	}
+	if len(plan.DoneBlocks()) != 3 {
+		t.Fatalf("DoneBlocks = %v", plan.DoneBlocks())
+	}
+}
+
+func TestDownloadNeverExceedsKInFlight(t *testing.T) {
+	plan := threeOfSix(t)
+	// Cloud a holds blocks 0, 3, 5; but only k=3 total may be in
+	// flight — a alone can take 3.
+	var taken []int
+	for {
+		b, ok := plan.NextBlock("a")
+		if !ok {
+			break
+		}
+		taken = append(taken, b)
+	}
+	if len(taken) != 3 {
+		t.Fatalf("a took %d blocks, want 3", len(taken))
+	}
+	// Nothing left for the others while all K are in flight.
+	if _, ok := plan.NextBlock("b"); ok {
+		t.Fatal("over-issued beyond K in flight")
+	}
+	if plan.InFlight() != 3 {
+		t.Fatalf("InFlight = %d", plan.InFlight())
+	}
+}
+
+func TestDownloadFailReassignsElsewhere(t *testing.T) {
+	plan := threeOfSix(t)
+	// Block 5 is held by a and c. a fails it; c must still be able
+	// to supply it.
+	var b5 int
+	for {
+		b, ok := plan.NextBlock("a")
+		if !ok {
+			t.Fatal("a ran out before block 5")
+		}
+		if b == 5 {
+			b5 = b
+			break
+		}
+		plan.Complete("a", b)
+	}
+	plan.Fail("a", b5)
+	// a no longer offers 5.
+	for {
+		b, ok := plan.NextBlock("a")
+		if !ok {
+			break
+		}
+		if b == 5 {
+			t.Fatal("failed source offered the same block again")
+		}
+		plan.Complete("a", b)
+	}
+	if plan.Done() {
+		return // already got k elsewhere; fine
+	}
+	got, ok := plan.NextBlock("c")
+	if !ok {
+		t.Fatal("c has no work though block 5 is outstanding")
+	}
+	plan.Complete("c", got)
+}
+
+func TestDownloadRareBlockPreferred(t *testing.T) {
+	// Cloud a holds block 0 (sole source) and block 1 (also on b).
+	// a must be asked for the rare block first.
+	plan, err := NewDownloadPlan(2, map[int][]string{
+		0: {"a"},
+		1: {"a", "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := plan.NextBlock("a")
+	if !ok || b != 0 {
+		t.Fatalf("a handed block %d, want rare block 0", b)
+	}
+}
+
+func TestDownloadMarkDead(t *testing.T) {
+	plan := threeOfSix(t)
+	plan.MarkDead("a")
+	if _, ok := plan.NextBlock("a"); ok {
+		t.Fatal("dead cloud got work")
+	}
+	clouds := plan.Clouds()
+	for _, c := range clouds {
+		if c == "a" {
+			t.Fatal("dead cloud listed as source")
+		}
+	}
+	// b supplies 1 and 4, c supplies 2 and 5: still k=3 reachable.
+	for _, step := range []struct {
+		cloud string
+	}{{"b"}, {"c"}, {"b"}} {
+		b, ok := plan.NextBlock(step.cloud)
+		if !ok {
+			t.Fatalf("no work for %s", step.cloud)
+		}
+		plan.Complete(step.cloud, b)
+	}
+	if !plan.Done() {
+		t.Fatal("not done after k blocks from surviving clouds")
+	}
+}
+
+func TestDownloadStuck(t *testing.T) {
+	plan, err := NewDownloadPlan(3, map[int][]string{
+		0: {"a"}, 1: {"a"}, 2: {"b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stuck() {
+		t.Fatal("fresh plan reported stuck")
+	}
+	plan.MarkDead("a")
+	if !plan.Stuck() {
+		t.Fatal("plan with < k reachable blocks not stuck")
+	}
+}
+
+func TestDownloadCloudDone(t *testing.T) {
+	plan := threeOfSix(t)
+	if plan.CloudDone("b") {
+		t.Fatal("b done though it holds needed blocks")
+	}
+	b1, _ := plan.NextBlock("b")
+	plan.Complete("b", b1)
+	b2, _ := plan.NextBlock("b")
+	plan.Complete("b", b2)
+	// b held blocks 1 and 4; both done now.
+	if !plan.CloudDone("b") {
+		t.Fatal("b not done after supplying all its blocks")
+	}
+}
+
+func TestDownloadCompleteMismatchPanics(t *testing.T) {
+	plan := threeOfSix(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Complete did not panic")
+		}
+	}()
+	plan.Complete("a", 4)
+}

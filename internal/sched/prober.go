@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"unidrive/internal/stats"
+)
+
+// Direction distinguishes upload from download channels, which the
+// paper found to be only weakly correlated and therefore probes
+// separately.
+type Direction int
+
+// Probing directions.
+const (
+	Up Direction = iota + 1
+	Down
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// DefaultAlpha is the EWMA smoothing factor for throughput samples.
+// Recent samples dominate — the whole point of in-channel probing is
+// reacting to transient network conditions.
+const DefaultAlpha = 0.4
+
+// Prober implements in-channel bandwidth probing (paper §6.2): every
+// completed block transfer doubles as a probe. The prober tracks the
+// average per-connection throughput of each cloud and direction with
+// an EWMA; the schedulers rank clouds by the smoothed value. No
+// explicit probe traffic is ever sent.
+//
+// Per-connection (rather than aggregate) throughput is tracked
+// because UniDrive opens multiple concurrent HTTP connections per
+// cloud and schedules work per block on individual connections.
+type Prober struct {
+	alpha float64
+
+	mu    sync.Mutex
+	ewmas map[string]*stats.EWMA
+}
+
+// NewProber returns a Prober with the given EWMA alpha (0 uses
+// DefaultAlpha).
+func NewProber(alpha float64) *Prober {
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	return &Prober{alpha: alpha, ewmas: make(map[string]*stats.EWMA)}
+}
+
+func key(cloudName string, dir Direction) string {
+	return cloudName + "|" + dir.String()
+}
+
+// Observe feeds one completed block transfer: size bytes moved in d
+// on one connection to cloudName. Zero or negative durations are
+// ignored (clock anomalies under heavy load).
+func (p *Prober) Observe(cloudName string, dir Direction, size int64, d time.Duration) {
+	if d <= 0 || size < 0 {
+		return
+	}
+	p.ewma(cloudName, dir).Observe(float64(size) / d.Seconds())
+}
+
+// ObserveFailure feeds a failed transfer as a strong negative signal:
+// the throughput sample is zero, pushing the cloud down the ranking.
+func (p *Prober) ObserveFailure(cloudName string, dir Direction) {
+	p.ewma(cloudName, dir).Observe(0)
+}
+
+func (p *Prober) ewma(cloudName string, dir Direction) *stats.EWMA {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := key(cloudName, dir)
+	e, ok := p.ewmas[k]
+	if !ok {
+		e = stats.NewEWMA(p.alpha)
+		p.ewmas[k] = e
+	}
+	return e
+}
+
+// Throughput returns the smoothed per-connection throughput in
+// bytes/second for the cloud and direction, or 0 before any sample.
+func (p *Prober) Throughput(cloudName string, dir Direction) float64 {
+	p.mu.Lock()
+	e, ok := p.ewmas[key(cloudName, dir)]
+	p.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return e.Value()
+}
+
+// Samples reports how many transfers have been observed for the
+// cloud/direction.
+func (p *Prober) Samples(cloudName string, dir Direction) int {
+	p.mu.Lock()
+	e, ok := p.ewmas[key(cloudName, dir)]
+	p.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return e.Count()
+}
+
+// Rank returns the clouds sorted fastest-first for the given
+// direction. Unprobed clouds (no samples yet) sort above probed ones
+// so every cloud gets probed early — their first transfers are the
+// probes. Ties break by name for determinism.
+func (p *Prober) Rank(clouds []string, dir Direction) []string {
+	type entry struct {
+		name     string
+		sampled  bool
+		smoothed float64
+	}
+	entries := make([]entry, 0, len(clouds))
+	for _, c := range clouds {
+		entries = append(entries, entry{
+			name:     c,
+			sampled:  p.Samples(c, dir) > 0,
+			smoothed: p.Throughput(c, dir),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.sampled != b.sampled {
+			return !a.sampled // unprobed first
+		}
+		if a.smoothed != b.smoothed {
+			return a.smoothed > b.smoothed
+		}
+		return a.name < b.name
+	})
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.name
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProberObserveAndThroughput(t *testing.T) {
+	p := NewProber(0)
+	if p.Throughput("c1", Up) != 0 {
+		t.Fatal("unprobed throughput should be 0")
+	}
+	p.Observe("c1", Up, 1_000_000, time.Second)
+	if got := p.Throughput("c1", Up); got != 1_000_000 {
+		t.Fatalf("Throughput = %v, want 1e6", got)
+	}
+	if p.Samples("c1", Up) != 1 {
+		t.Fatal("sample count wrong")
+	}
+	// Directions are independent.
+	if p.Throughput("c1", Down) != 0 {
+		t.Fatal("download channel polluted by upload sample")
+	}
+}
+
+func TestProberIgnoresDegenerateSamples(t *testing.T) {
+	p := NewProber(0)
+	p.Observe("c1", Up, 100, 0)
+	p.Observe("c1", Up, -5, time.Second)
+	if p.Samples("c1", Up) != 0 {
+		t.Fatal("degenerate samples were recorded")
+	}
+}
+
+func TestProberEWMATracksRecent(t *testing.T) {
+	p := NewProber(0.5)
+	for i := 0; i < 10; i++ {
+		p.Observe("c1", Up, 1000, time.Second)
+	}
+	for i := 0; i < 10; i++ {
+		p.Observe("c1", Up, 100_000, time.Second)
+	}
+	if got := p.Throughput("c1", Up); got < 50_000 {
+		t.Fatalf("EWMA %v too sticky; recent samples must dominate", got)
+	}
+}
+
+func TestProberFailureLowersRank(t *testing.T) {
+	p := NewProber(0)
+	p.Observe("fast", Up, 100_000, time.Second)
+	p.Observe("flaky", Up, 200_000, time.Second)
+	for i := 0; i < 5; i++ {
+		p.ObserveFailure("flaky", Up)
+	}
+	ranked := p.Rank([]string{"fast", "flaky"}, Up)
+	if ranked[0] != "fast" {
+		t.Fatalf("rank = %v; failures must sink a cloud", ranked)
+	}
+}
+
+func TestProberRankUnprobedFirst(t *testing.T) {
+	p := NewProber(0)
+	p.Observe("known", Up, 1_000_000, time.Second)
+	ranked := p.Rank([]string{"known", "mystery"}, Up)
+	if ranked[0] != "mystery" {
+		t.Fatalf("rank = %v; unprobed clouds must be probed first", ranked)
+	}
+}
+
+func TestProberRankOrdersBySpeed(t *testing.T) {
+	p := NewProber(0)
+	p.Observe("slow", Down, 1000, time.Second)
+	p.Observe("fast", Down, 9000, time.Second)
+	p.Observe("mid", Down, 5000, time.Second)
+	ranked := p.Rank([]string{"slow", "mid", "fast"}, Down)
+	want := []string{"fast", "mid", "slow"}
+	for i := range want {
+		if ranked[i] != want[i] {
+			t.Fatalf("rank = %v, want %v", ranked, want)
+		}
+	}
+}
+
+func TestProberRankDeterministicTies(t *testing.T) {
+	p := NewProber(0)
+	a := p.Rank([]string{"b", "a", "c"}, Up)
+	b := p.Rank([]string{"c", "b", "a"}, Up)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tie-break not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Up.String() != "up" || Down.String() != "down" {
+		t.Fatal("direction names wrong")
+	}
+}

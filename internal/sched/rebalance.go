@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rebalance is the per-segment work list produced when the user adds
+// or removes a cloud (paper §6.2, "Adding or Removing CCSs"). The
+// client holds a full copy of all files, so new blocks are
+// re-encoded locally and uploaded; surplus blocks are simply deleted.
+type Rebalance struct {
+	// Upload maps cloud -> block IDs to encode and upload there.
+	Upload map[string][]int
+	// Delete maps cloud -> block IDs to delete there.
+	Delete map[string][]int
+}
+
+// Empty reports whether the plan contains no work.
+func (r Rebalance) Empty() bool {
+	for _, b := range r.Upload {
+		if len(b) > 0 {
+			return false
+		}
+	}
+	for _, b := range r.Delete {
+		if len(b) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PlanRebalance computes the block moves for one segment after the
+// cloud set changed.
+//
+// placement is the segment's current block ID -> cloud map (from
+// metadata); blocks on clouds absent from newClouds are treated as
+// gone. codeN is the segment's erasure-code n — the ID space from
+// which fresh blocks can be generated. p describes the new
+// configuration (p.N must equal len(newClouds)).
+//
+// The resulting placement gives every cloud exactly its fair share:
+// clouds above it lose their surplus (over-provisioned blocks are
+// reclaimed, highest IDs first), clouds below it receive fresh block
+// IDs. An error is returned if the segment's code cannot supply
+// enough distinct blocks, which means the segment must be re-encoded
+// with a larger code (not handled here).
+func PlanRebalance(placement map[int]string, newClouds []string, codeN int, p Params) (Rebalance, error) {
+	if err := p.Validate(); err != nil {
+		return Rebalance{}, err
+	}
+	if len(newClouds) != p.N {
+		return Rebalance{}, fmt.Errorf("sched: %d clouds for N=%d", len(newClouds), p.N)
+	}
+	isNew := make(map[string]bool, len(newClouds))
+	for _, c := range newClouds {
+		isNew[c] = true
+	}
+
+	held := make(map[string][]int, len(newClouds))
+	used := make(map[int]bool, len(placement))
+	for b, c := range placement {
+		if !isNew[c] {
+			continue // block lost with its cloud
+		}
+		held[c] = append(held[c], b)
+		used[b] = true
+	}
+
+	fair := p.FairShare()
+	plan := Rebalance{
+		Upload: make(map[string][]int),
+		Delete: make(map[string][]int),
+	}
+
+	// Shed surplus above the fair share, highest block IDs (the
+	// over-provisioned ones) first.
+	for _, c := range newClouds {
+		blocks := held[c]
+		sort.Ints(blocks)
+		for len(blocks) > fair {
+			b := blocks[len(blocks)-1]
+			blocks = blocks[:len(blocks)-1]
+			plan.Delete[c] = append(plan.Delete[c], b)
+			delete(used, b)
+		}
+		held[c] = blocks
+	}
+
+	// Top up clouds below the fair share with fresh block IDs.
+	nextFree := 0
+	takeFree := func() (int, bool) {
+		for nextFree < codeN {
+			b := nextFree
+			nextFree++
+			if !used[b] {
+				used[b] = true
+				return b, true
+			}
+		}
+		return 0, false
+	}
+	for _, c := range newClouds {
+		for need := fair - len(held[c]); need > 0; need-- {
+			b, ok := takeFree()
+			if !ok {
+				return Rebalance{}, fmt.Errorf(
+					"sched: segment code n=%d cannot supply enough blocks for rebalance to %d clouds",
+					codeN, p.N)
+			}
+			plan.Upload[c] = append(plan.Upload[c], b)
+		}
+	}
+	return plan, nil
+}
+
+// ApplyRebalance returns the placement after executing the plan —
+// used by metadata updates and by tests to check invariants.
+func ApplyRebalance(placement map[int]string, newClouds []string, plan Rebalance) map[int]string {
+	isNew := make(map[string]bool, len(newClouds))
+	for _, c := range newClouds {
+		isNew[c] = true
+	}
+	out := make(map[int]string, len(placement))
+	for b, c := range placement {
+		if isNew[c] {
+			out[b] = c
+		}
+	}
+	for c, blocks := range plan.Delete {
+		for _, b := range blocks {
+			if out[b] == c {
+				delete(out, b)
+			}
+		}
+	}
+	for c, blocks := range plan.Upload {
+		for _, b := range blocks {
+			out[b] = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// paperPlacement builds the placement after a clean 5-cloud upload:
+// blocks 0..4 on c0..c4 (fair share 1 each).
+func paperPlacement() map[int]string {
+	return map[int]string{0: "c0", 1: "c1", 2: "c2", 3: "c3", 4: "c4"}
+}
+
+func countPerCloud(placement map[int]string) map[string]int {
+	out := make(map[string]int)
+	for _, c := range placement {
+		out[c]++
+	}
+	return out
+}
+
+func TestRemoveCloudRedistributesFairShare(t *testing.T) {
+	// Remove c4: N drops to 4, Kr must drop to 3 (still <= N). Fair
+	// share stays 1; c4's block is replaced by a fresh block on a
+	// cloud that lost its holdings... here every remaining cloud
+	// already has 1, so nothing to upload — but the c4 block is gone
+	// and the placement must still satisfy the reliability bound.
+	newClouds := []string{"c0", "c1", "c2", "c3"}
+	p := Params{N: 4, K: 3, Kr: 3, Ks: 2}
+	plan, err := PlanRebalance(paperPlacement(), newClouds, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ApplyRebalance(paperPlacement(), newClouds, plan)
+	per := countPerCloud(after)
+	for _, c := range newClouds {
+		if per[c] != p.FairShare() {
+			t.Fatalf("%s has %d blocks, want fair share %d", c, per[c], p.FairShare())
+		}
+	}
+	if len(after) != 4 {
+		t.Fatalf("placement size %d, want 4", len(after))
+	}
+}
+
+func TestAddCloudGetsFairShare(t *testing.T) {
+	newClouds := []string{"c0", "c1", "c2", "c3", "c4", "c5"}
+	p := Params{N: 6, K: 3, Kr: 3, Ks: 2}
+	plan, err := PlanRebalance(paperPlacement(), newClouds, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Upload["c5"]); got != p.FairShare() {
+		t.Fatalf("new cloud receives %d blocks, want fair share %d", got, p.FairShare())
+	}
+	after := ApplyRebalance(paperPlacement(), newClouds, plan)
+	per := countPerCloud(after)
+	if per["c5"] != p.FairShare() {
+		t.Fatalf("new cloud holds %d, want %d", per["c5"], p.FairShare())
+	}
+}
+
+func TestRebalanceShedsOverProvisionedBlocks(t *testing.T) {
+	// c0 holds its fair share plus an over-provisioned block (id 7).
+	placement := paperPlacement()
+	placement[7] = "c0"
+	newClouds := []string{"c0", "c1", "c2", "c3", "c4"}
+	p := Params{N: 5, K: 3, Kr: 3, Ks: 2}
+	plan, err := PlanRebalance(placement, newClouds, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range plan.Delete["c0"] {
+		if b == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("over-provisioned block not reclaimed: %+v", plan)
+	}
+	after := ApplyRebalance(placement, newClouds, plan)
+	if countPerCloud(after)["c0"] != 1 {
+		t.Fatal("c0 not trimmed to fair share")
+	}
+}
+
+func TestRebalanceEmptyWhenBalanced(t *testing.T) {
+	p := Params{N: 5, K: 3, Kr: 3, Ks: 2}
+	plan, err := PlanRebalance(paperPlacement(), []string{"c0", "c1", "c2", "c3", "c4"}, 10, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty() {
+		t.Fatalf("balanced placement produced work: %+v", plan)
+	}
+}
+
+func TestRebalanceValidation(t *testing.T) {
+	if _, err := PlanRebalance(nil, []string{"a"}, 10, Params{N: 2, K: 1, Kr: 1, Ks: 1}); err == nil {
+		t.Fatal("cloud count mismatch accepted")
+	}
+	if _, err := PlanRebalance(nil, []string{"a", "b"}, 10, Params{N: 2, K: 0, Kr: 1, Ks: 1}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestRebalanceCodeExhaustion(t *testing.T) {
+	// Code with n=2 cannot give every one of 3 clouds a fresh block.
+	p := Params{N: 3, K: 2, Kr: 2, Ks: 1}
+	_, err := PlanRebalance(map[int]string{}, []string{"a", "b", "c"}, 2, p)
+	if err == nil {
+		t.Fatal("code exhaustion not detected")
+	}
+}
+
+func TestRebalancePropertyInvariants(t *testing.T) {
+	f := func(seed int64, nOldRaw, nNewRaw, kRaw uint8) bool {
+		nOld := 2 + int(nOldRaw)%4
+		nNew := 2 + int(nNewRaw)%4
+		k := 1 + int(kRaw)%5
+		krNew := 1 + int(seed&0x7)%nNew
+		p := Params{N: nNew, K: k, Kr: krNew, Ks: 1}
+		if p.Validate() != nil {
+			return true
+		}
+		codeN := p.MaxBlocks()
+		if codeN < p.NormalBlocks() {
+			codeN = p.NormalBlocks()
+		}
+		// Random initial placement over old clouds.
+		oldClouds := make([]string, nOld)
+		for i := range oldClouds {
+			oldClouds[i] = string(rune('A' + i))
+		}
+		placement := make(map[int]string)
+		s := seed
+		next := func(m int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int(s % int64(m))
+			if v < 0 {
+				v += m
+			}
+			return v
+		}
+		for b := 0; b < next(codeN)+1 && b < codeN; b++ {
+			placement[b] = oldClouds[next(nOld)]
+		}
+		newClouds := make([]string, nNew)
+		for i := range newClouds {
+			newClouds[i] = string(rune('A' + i))
+		}
+		plan, err := PlanRebalance(placement, newClouds, codeN, p)
+		if err != nil {
+			// Acceptable only via code exhaustion, which needs
+			// fair*nNew > codeN — impossible by construction.
+			return false
+		}
+		after := ApplyRebalance(placement, newClouds, plan)
+		per := countPerCloud(after)
+		for _, c := range newClouds {
+			if per[c] != p.FairShare() {
+				return false
+			}
+		}
+		// No duplicate block IDs (map keys are unique by type) and
+		// all IDs within the code.
+		for b := range after {
+			if b < 0 || b >= codeN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// UploadPlan is the dynamic scheduling state machine for uploading
+// one segment's coded blocks to the multi-cloud (paper §6.2).
+//
+// The ⌈K/Kr⌉·N normal parity blocks are assigned to clouds evenly and
+// deterministically up front (basic upload scheduling). When a cloud
+// finishes its fair share while others are still transferring, the
+// plan hands it over-provisioned parity blocks — extra coded blocks
+// beyond the normal set — so fast clouds keep working instead of
+// idling; utilization becomes proportional to performance. Over-
+// provisioning stops when the slowest cloud finishes its fair share
+// (the plan is Reliable) or the security ceiling (MaxPerCloud /
+// MaxBlocks) is reached.
+//
+// The transfer engine drives the plan: NextBlock(cloud) hands out the
+// next block the cloud should upload, Complete and Fail report
+// outcomes, MarkDead excludes a cloud that stopped responding. All
+// methods are safe for concurrent use.
+type UploadPlan struct {
+	params Params
+	clouds []string
+
+	mu sync.Mutex
+	// fairQueue holds each cloud's still-unassigned normal blocks.
+	fairQueue map[string][]int
+	// uploaded maps block ID -> cloud for completed uploads.
+	uploaded map[int]string
+	// inflight maps block ID -> cloud for running uploads.
+	inflight map[int]string
+	// countByCloud counts uploaded+inflight blocks per cloud
+	// (security accounting).
+	countByCloud map[string]int
+	// fairUploaded counts completed normal-share blocks per cloud.
+	fairUploaded map[string]int
+	// extraFree recycles the IDs of failed over-provisioned blocks.
+	extraFree []int
+	// nextExtra is the next fresh over-provisioned block ID.
+	nextExtra int
+	dead      map[string]bool
+}
+
+// NewUploadPlan creates a plan for one segment over the given clouds.
+// len(clouds) must equal params.N; params must validate.
+func NewUploadPlan(params Params, clouds []string) (*UploadPlan, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clouds) != params.N {
+		return nil, fmt.Errorf("sched: %d clouds for N=%d", len(clouds), params.N)
+	}
+	p := &UploadPlan{
+		params:       params,
+		clouds:       append([]string(nil), clouds...),
+		fairQueue:    make(map[string][]int, len(clouds)),
+		uploaded:     make(map[int]string),
+		inflight:     make(map[int]string),
+		countByCloud: make(map[string]int, len(clouds)),
+		fairUploaded: make(map[string]int, len(clouds)),
+		nextExtra:    params.NormalBlocks(),
+		dead:         make(map[string]bool),
+	}
+	// Even, deterministic assignment of the normal parity blocks:
+	// block b goes to cloud b mod N, giving each cloud exactly
+	// FairShare() blocks.
+	for b := 0; b < params.NormalBlocks(); b++ {
+		c := p.clouds[b%len(p.clouds)]
+		p.fairQueue[c] = append(p.fairQueue[c], b)
+	}
+	return p, nil
+}
+
+// Params returns the plan's placement parameters.
+func (p *UploadPlan) Params() Params { return p.params }
+
+// NextBlock returns the next block the cloud should upload and marks
+// it in flight. ok is false when the cloud has no work right now
+// (more may appear later; see CloudDone).
+func (p *UploadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[cloudName] {
+		return 0, false
+	}
+	// Normal share first.
+	if q := p.fairQueue[cloudName]; len(q) > 0 {
+		blockID = q[0]
+		p.fairQueue[cloudName] = q[1:]
+		p.inflight[blockID] = cloudName
+		p.countByCloud[cloudName]++
+		return blockID, true
+	}
+	// Over-provisioning: extras flow only to clouds that have
+	// COMPLETED their own fair share (paper Fig 7 — fast clouds get
+	// extras precisely because they finished early), only while some
+	// live cloud's fair share is incomplete, and within the security
+	// ceiling.
+	if p.fairUploaded[cloudName] < p.params.FairShare() {
+		return 0, false
+	}
+	if p.reliableLocked() {
+		return 0, false
+	}
+	if p.countByCloud[cloudName] >= p.params.MaxPerCloud() {
+		return 0, false
+	}
+	if len(p.extraFree) > 0 {
+		blockID = p.extraFree[0]
+		p.extraFree = p.extraFree[1:]
+	} else {
+		if p.nextExtra >= p.params.MaxBlocks() {
+			return 0, false
+		}
+		blockID = p.nextExtra
+		p.nextExtra++
+	}
+	p.inflight[blockID] = cloudName
+	p.countByCloud[cloudName]++
+	return blockID, true
+}
+
+// Complete records a successful upload of blockID by cloudName.
+func (p *UploadPlan) Complete(cloudName string, blockID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight[blockID] != cloudName {
+		panic(fmt.Sprintf("sched: Complete(%s, %d) without matching NextBlock", cloudName, blockID))
+	}
+	delete(p.inflight, blockID)
+	p.uploaded[blockID] = cloudName
+	if blockID < p.params.NormalBlocks() {
+		p.fairUploaded[cloudName]++
+	}
+}
+
+// Fail records a failed upload. A normal-share block is requeued to
+// its owning cloud (it will be retried unless the cloud is marked
+// dead); an over-provisioned block ID returns to the free list.
+func (p *UploadPlan) Fail(cloudName string, blockID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inflight[blockID] != cloudName {
+		panic(fmt.Sprintf("sched: Fail(%s, %d) without matching NextBlock", cloudName, blockID))
+	}
+	delete(p.inflight, blockID)
+	p.countByCloud[cloudName]--
+	if blockID < p.params.NormalBlocks() {
+		p.fairQueue[cloudName] = append(p.fairQueue[cloudName], blockID)
+	} else {
+		p.extraFree = append(p.extraFree, blockID)
+	}
+}
+
+// MarkDead excludes a cloud from the plan: its pending normal blocks
+// stay unuploaded (reliability accounting ignores dead clouds) and it
+// receives no further work.
+func (p *UploadPlan) MarkDead(cloudName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead[cloudName] = true
+}
+
+// Available reports whether the segment is available to the
+// multi-cloud: at least K blocks uploaded in total (paper §6.2).
+func (p *UploadPlan) Available() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.uploaded) >= p.params.K
+}
+
+// Reliable reports whether every live cloud has received its fair
+// share (the paper's reliability goal for the segment).
+func (p *UploadPlan) Reliable() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reliableLocked()
+}
+
+func (p *UploadPlan) reliableLocked() bool {
+	fair := p.params.FairShare()
+	for _, c := range p.clouds {
+		if p.dead[c] {
+			continue
+		}
+		if p.fairUploaded[c] < fair {
+			return false
+		}
+	}
+	return true
+}
+
+// CloudDone reports that cloudName will never receive more work from
+// this plan: it is dead, or it has no pending normal blocks and
+// over-provisioning can no longer apply to it.
+func (p *UploadPlan) CloudDone(cloudName string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dead[cloudName] {
+		return true
+	}
+	if len(p.fairQueue[cloudName]) > 0 {
+		return false
+	}
+	if p.reliableLocked() {
+		return true
+	}
+	if p.countByCloud[cloudName] >= p.params.MaxPerCloud() {
+		return true
+	}
+	if len(p.extraFree) == 0 && p.nextExtra >= p.params.MaxBlocks() {
+		return true
+	}
+	// Not done: extras may open up once this cloud's fair share (or
+	// another's) completes.
+	return false
+}
+
+// InFlight returns the number of blocks currently being uploaded.
+func (p *UploadPlan) InFlight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inflight)
+}
+
+// Placement returns the final block placement: block ID -> cloud, for
+// recording into the segment metadata.
+func (p *UploadPlan) Placement() map[int]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]string, len(p.uploaded))
+	for b, c := range p.uploaded {
+		out[b] = c
+	}
+	return out
+}
+
+// UploadedBlocks returns the sorted IDs of uploaded blocks.
+func (p *UploadPlan) UploadedBlocks() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.uploaded))
+	for b := range p.uploaded {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OverProvisioned returns how many blocks beyond the normal set were
+// uploaded.
+func (p *UploadPlan) OverProvisioned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for b := range p.uploaded {
+		if b >= p.params.NormalBlocks() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,339 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var paperParams = Params{N: 5, K: 3, Kr: 3, Ks: 2}
+
+var fiveClouds = []string{"c0", "c1", "c2", "c3", "c4"}
+
+func mustUploadPlan(t *testing.T, p Params, clouds []string) *UploadPlan {
+	t.Helper()
+	plan, err := NewUploadPlan(p, clouds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestUploadPlanValidation(t *testing.T) {
+	if _, err := NewUploadPlan(Params{N: 2, K: 3, Kr: 3, Ks: 2}, []string{"a", "b"}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := NewUploadPlan(paperParams, []string{"a"}); err == nil {
+		t.Fatal("cloud count mismatch accepted")
+	}
+}
+
+func TestEvenDeterministicAssignment(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	// Each cloud gets exactly its fair share (1 block) as the first
+	// NextBlock; assignment is deterministic across plans.
+	plan2 := mustUploadPlan(t, paperParams, fiveClouds)
+	for _, c := range fiveClouds {
+		b1, ok1 := plan.NextBlock(c)
+		b2, ok2 := plan2.NextBlock(c)
+		if !ok1 || !ok2 || b1 != b2 {
+			t.Fatalf("assignment not deterministic for %s: (%d,%v) vs (%d,%v)", c, b1, ok1, b2, ok2)
+		}
+		if b1 >= paperParams.NormalBlocks() {
+			t.Fatalf("first block for %s is %d, beyond the normal set", c, b1)
+		}
+	}
+}
+
+func TestAvailabilityAfterKBlocks(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	if plan.Available() {
+		t.Fatal("empty plan available")
+	}
+	for i, c := range fiveClouds[:3] { // K = 3
+		b, ok := plan.NextBlock(c)
+		if !ok {
+			t.Fatalf("no block for %s", c)
+		}
+		plan.Complete(c, b)
+		if got := plan.Available(); got != (i == 2) {
+			t.Fatalf("after %d completions Available = %v", i+1, got)
+		}
+	}
+}
+
+func TestReliabilityNeedsEveryCloud(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	for _, c := range fiveClouds[:4] {
+		b, _ := plan.NextBlock(c)
+		plan.Complete(c, b)
+	}
+	if plan.Reliable() {
+		t.Fatal("reliable with one cloud missing its fair share")
+	}
+	b, _ := plan.NextBlock("c4")
+	plan.Complete("c4", b)
+	if !plan.Reliable() {
+		t.Fatal("not reliable after every cloud got its fair share")
+	}
+}
+
+func TestOverProvisioningToFastClouds(t *testing.T) {
+	// The Fig 7 scenario: clouds 1 and 2 are fast and finish their
+	// fair shares; clouds 3 and 4 are slow (blocks stay in flight).
+	// The fast clouds must receive over-provisioned parity blocks.
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2}
+	clouds := []string{"c1", "c2", "c3", "c4"}
+	plan := mustUploadPlan(t, p, clouds)
+	// fair share = 2, max per cloud = ceil(4/1)-1 = 3, normal = 8.
+
+	// All clouds take their fair share into flight.
+	taken := make(map[string][]int)
+	for _, c := range clouds {
+		for {
+			b, ok := plan.NextBlock(c)
+			if !ok {
+				break
+			}
+			taken[c] = append(taken[c], b)
+			if len(taken[c]) == 2 {
+				break
+			}
+		}
+	}
+	// Fast clouds complete; slow clouds' blocks remain in flight.
+	for _, c := range []string{"c1", "c2"} {
+		for _, b := range taken[c] {
+			plan.Complete(c, b)
+		}
+	}
+	// Fast clouds ask again: they must get over-provisioned blocks.
+	for _, c := range []string{"c1", "c2"} {
+		b, ok := plan.NextBlock(c)
+		if !ok {
+			t.Fatalf("fast cloud %s got no over-provisioned block", c)
+		}
+		if b < p.NormalBlocks() {
+			t.Fatalf("expected extra block (>= %d), got %d", p.NormalBlocks(), b)
+		}
+		plan.Complete(c, b)
+	}
+	if plan.OverProvisioned() != 2 {
+		t.Fatalf("OverProvisioned = %d, want 2", plan.OverProvisioned())
+	}
+}
+
+func TestSecurityCapNeverExceeded(t *testing.T) {
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2} // max 3 per cloud
+	clouds := []string{"c1", "c2", "c3", "c4"}
+	plan := mustUploadPlan(t, p, clouds)
+	// c1 completes everything it is ever offered; the others never
+	// start, so over-provisioning stays open — but c1 must stop at
+	// the per-cloud cap.
+	count := 0
+	for {
+		b, ok := plan.NextBlock("c1")
+		if !ok {
+			break
+		}
+		plan.Complete("c1", b)
+		count++
+		if count > 10 {
+			t.Fatal("runaway assignment")
+		}
+	}
+	if count != p.MaxPerCloud() {
+		t.Fatalf("c1 uploaded %d blocks, cap is %d", count, p.MaxPerCloud())
+	}
+}
+
+func TestOverProvisioningStopsWhenReliable(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	for _, c := range fiveClouds {
+		b, _ := plan.NextBlock(c)
+		plan.Complete(c, b)
+	}
+	if !plan.Reliable() {
+		t.Fatal("should be reliable")
+	}
+	for _, c := range fiveClouds {
+		if _, ok := plan.NextBlock(c); ok {
+			t.Fatalf("%s received work after reliability was met", c)
+		}
+		if !plan.CloudDone(c) {
+			t.Fatalf("%s not done after reliability", c)
+		}
+	}
+}
+
+func TestFailRequeuesFairBlock(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	b, _ := plan.NextBlock("c0")
+	plan.Fail("c0", b)
+	b2, ok := plan.NextBlock("c0")
+	if !ok || b2 != b {
+		t.Fatalf("failed fair block not requeued: got (%d, %v), want %d", b2, ok, b)
+	}
+}
+
+func TestFailRecyclesExtraBlockID(t *testing.T) {
+	// fair share 2, per-cloud cap 3: room for one extra per cloud.
+	p := Params{N: 2, K: 3, Kr: 2, Ks: 1}
+	clouds := []string{"a", "b"}
+	plan := mustUploadPlan(t, p, clouds)
+	// a completes its fair share (2 blocks).
+	for i := 0; i < 2; i++ {
+		b, ok := plan.NextBlock("a")
+		if !ok {
+			t.Fatal("no fair block")
+		}
+		plan.Complete("a", b)
+	}
+	// b hasn't finished, so a gets an extra; fail it.
+	extra, ok := plan.NextBlock("a")
+	if !ok || extra < p.NormalBlocks() {
+		t.Fatalf("expected extra block, got (%d, %v)", extra, ok)
+	}
+	plan.Fail("a", extra)
+	again, ok := plan.NextBlock("a")
+	if !ok || again != extra {
+		t.Fatalf("failed extra ID not recycled: got (%d, %v), want %d", again, ok, extra)
+	}
+}
+
+func TestMarkDeadExcludesCloud(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	plan.MarkDead("c0")
+	if _, ok := plan.NextBlock("c0"); ok {
+		t.Fatal("dead cloud received work")
+	}
+	if !plan.CloudDone("c0") {
+		t.Fatal("dead cloud not done")
+	}
+	// Reliability ignores the dead cloud.
+	for _, c := range fiveClouds[1:] {
+		b, _ := plan.NextBlock(c)
+		plan.Complete(c, b)
+	}
+	if !plan.Reliable() {
+		t.Fatal("reliability must ignore dead clouds")
+	}
+}
+
+func TestAvailabilityReachableWithDeadCloudViaOverProvisioning(t *testing.T) {
+	// K=3 but one cloud dead: the remaining four clouds must still
+	// reach availability (3 blocks) — trivially via their fair
+	// shares here, and via extras when fair shares are exhausted.
+	p := Params{N: 3, K: 4, Kr: 2, Ks: 2} // fair 2, normal 6, maxPC 3, maxBlocks 9
+	clouds := []string{"a", "b", "dead"}
+	plan := mustUploadPlan(t, p, clouds)
+	plan.MarkDead("dead")
+	uploaded := 0
+	for _, c := range []string{"a", "b"} {
+		for {
+			b, ok := plan.NextBlock(c)
+			if !ok {
+				break
+			}
+			plan.Complete(c, b)
+			uploaded++
+		}
+	}
+	if !plan.Available() {
+		t.Fatalf("not available with %d blocks uploaded (need %d)", uploaded, p.K)
+	}
+	if !plan.Reliable() {
+		t.Fatal("not reliable over the live clouds")
+	}
+}
+
+func TestPlacementRecordsCloudPerBlock(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	want := make(map[int]string)
+	for _, c := range fiveClouds {
+		b, _ := plan.NextBlock(c)
+		plan.Complete(c, b)
+		want[b] = c
+	}
+	got := plan.Placement()
+	if len(got) != len(want) {
+		t.Fatalf("placement size %d, want %d", len(got), len(want))
+	}
+	for b, c := range want {
+		if got[b] != c {
+			t.Fatalf("block %d on %s, want %s", b, got[b], c)
+		}
+	}
+	if blocks := plan.UploadedBlocks(); len(blocks) != 5 {
+		t.Fatalf("UploadedBlocks = %v", blocks)
+	}
+}
+
+func TestCompleteWithoutNextBlockPanics(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Complete did not panic")
+		}
+	}()
+	plan.Complete("c0", 99)
+}
+
+// TestUploadPlanPropertySecurityInvariant drives random plans and
+// checks the security bound: no cloud ever holds more than
+// MaxPerCloud blocks, and Ks-1 clouds never hold K blocks together.
+func TestUploadPlanPropertySecurityInvariant(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 2 + int(nRaw)%5
+		k := 1 + int(kRaw)%8
+		kr := 1 + int(seed&0xff)%n
+		ks := 1 + int((seed>>8)&0xff)%kr
+		p := Params{N: n, K: k, Kr: kr, Ks: ks}
+		if p.Validate() != nil {
+			return true
+		}
+		clouds := make([]string, n)
+		for i := range clouds {
+			clouds[i] = string(rune('A' + i))
+		}
+		plan, err := NewUploadPlan(p, clouds)
+		if err != nil {
+			return false
+		}
+		// Pseudo-random completion order.
+		s := seed
+		next := func(m int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := int(s % int64(m))
+			if v < 0 {
+				v += m
+			}
+			return v
+		}
+		for steps := 0; steps < 200; steps++ {
+			c := clouds[next(n)]
+			b, ok := plan.NextBlock(c)
+			if !ok {
+				continue
+			}
+			if next(10) == 0 {
+				plan.Fail(c, b)
+			} else {
+				plan.Complete(c, b)
+			}
+		}
+		placement := plan.Placement()
+		perCloud := make(map[string]int)
+		for _, c := range placement {
+			perCloud[c]++
+		}
+		for _, cnt := range perCloud {
+			if cnt > p.MaxPerCloud() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

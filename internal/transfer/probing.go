@@ -1,0 +1,83 @@
+package transfer
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/sched"
+	"unidrive/internal/vclock"
+)
+
+// Probing wraps a cloud.Interface so that EVERY request — metadata,
+// version files, lock flags, blocks — feeds the in-channel bandwidth
+// prober. This is the paper's probing scheme taken literally: "uses
+// the last transmission as probes", with no dedicated probe traffic.
+// Because control-plane traffic touches all clouds early (version
+// checks query every cloud), the prober has a ranking before the
+// first data block moves, so no full block is ever wasted probing a
+// slow cloud.
+type Probing struct {
+	inner  cloud.Interface
+	prober *sched.Prober
+	clock  vclock.Clock
+}
+
+var _ cloud.Interface = (*Probing)(nil)
+
+// NewProbing wraps inner with transfer observation.
+func NewProbing(inner cloud.Interface, prober *sched.Prober, clock vclock.Clock) *Probing {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Probing{inner: inner, prober: prober, clock: clock}
+}
+
+// Name implements cloud.Interface.
+func (p *Probing) Name() string { return p.inner.Name() }
+
+func (p *Probing) observe(dir sched.Direction, size int64, start time.Time, err error) {
+	switch {
+	case err == nil:
+		p.prober.Observe(p.inner.Name(), dir, size, p.clock.Now().Sub(start))
+	case errors.Is(err, cloud.ErrTransient) || errors.Is(err, cloud.ErrUnavailable):
+		// Only network-class failures say something about the cloud;
+		// a NotFound is a perfectly healthy response.
+		p.prober.ObserveFailure(p.inner.Name(), dir)
+	}
+}
+
+// Upload implements cloud.Interface.
+func (p *Probing) Upload(ctx context.Context, path string, data []byte) error {
+	start := p.clock.Now()
+	err := p.inner.Upload(ctx, path, data)
+	p.observe(sched.Up, int64(len(data)), start, err)
+	return err
+}
+
+// Download implements cloud.Interface.
+func (p *Probing) Download(ctx context.Context, path string) ([]byte, error) {
+	start := p.clock.Now()
+	data, err := p.inner.Download(ctx, path)
+	p.observe(sched.Down, int64(len(data)), start, err)
+	return data, err
+}
+
+// CreateDir implements cloud.Interface.
+func (p *Probing) CreateDir(ctx context.Context, path string) error {
+	return p.inner.CreateDir(ctx, path)
+}
+
+// List implements cloud.Interface.
+func (p *Probing) List(ctx context.Context, path string) ([]cloud.Entry, error) {
+	start := p.clock.Now()
+	entries, err := p.inner.List(ctx, path)
+	p.observe(sched.Down, int64(len(entries))*64, start, err)
+	return entries, err
+}
+
+// Delete implements cloud.Interface.
+func (p *Probing) Delete(ctx context.Context, path string) error {
+	return p.inner.Delete(ctx, path)
+}

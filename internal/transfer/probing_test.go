@@ -1,0 +1,104 @@
+package transfer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/sched"
+	"unidrive/internal/vclock"
+)
+
+func TestProbingObservesAllTraffic(t *testing.T) {
+	prober := sched.NewProber(0)
+	store := cloudsim.NewStore("c1", 0)
+	p := NewProbing(cloudsim.NewDirect(store), prober, vclock.Real{})
+	ctx := context.Background()
+
+	if err := p.Upload(ctx, "meta/version", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if prober.Samples("c1", sched.Up) != 1 {
+		t.Fatal("upload not observed")
+	}
+	if _, err := p.Download(ctx, "meta/version"); err != nil {
+		t.Fatal(err)
+	}
+	if prober.Samples("c1", sched.Down) != 1 {
+		t.Fatal("download not observed")
+	}
+	if _, err := p.List(ctx, "meta"); err != nil {
+		t.Fatal(err)
+	}
+	if prober.Samples("c1", sched.Down) != 2 {
+		t.Fatal("list not observed as download traffic")
+	}
+	if p.Name() != "c1" {
+		t.Fatal("name not forwarded")
+	}
+}
+
+func TestProbingNotFoundIsNotAFailureSignal(t *testing.T) {
+	prober := sched.NewProber(0)
+	p := NewProbing(cloudsim.NewDirect(cloudsim.NewStore("c1", 0)), prober, vclock.Real{})
+	if _, err := p.Download(context.Background(), "ghost"); err == nil {
+		t.Fatal("expected not-found")
+	}
+	// A 404 is a healthy response: it must not record a zero-throughput
+	// sample that would sink the cloud in the ranking.
+	if prober.Samples("c1", sched.Down) != 0 {
+		t.Fatal("NotFound recorded as a throughput sample")
+	}
+}
+
+func TestProbingTransientFailureSinksRanking(t *testing.T) {
+	prober := sched.NewProber(0)
+	flaky := cloudsim.NewFlaky(cloudsim.NewDirect(cloudsim.NewStore("bad", 0)), 1.0, 1)
+	bad := NewProbing(flaky, prober, vclock.Real{})
+	good := NewProbing(cloudsim.NewDirect(cloudsim.NewStore("good", 0)), prober, vclock.Real{})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		_ = bad.Upload(ctx, "f", []byte("x"))
+		_ = good.Upload(ctx, "f", []byte("x"))
+	}
+	ranked := prober.Rank([]string{"bad", "good"}, sched.Up)
+	if ranked[0] != "good" {
+		t.Fatalf("rank = %v; failing cloud should sink", ranked)
+	}
+}
+
+func TestProbingDeleteAndCreateDirPassThrough(t *testing.T) {
+	prober := sched.NewProber(0)
+	store := cloudsim.NewStore("c1", 0)
+	p := NewProbing(cloudsim.NewDirect(store), prober, vclock.Real{})
+	ctx := context.Background()
+	if err := p.CreateDir(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Upload(ctx, "d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Delete(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if store.FileCount() != 0 {
+		t.Fatal("delete not forwarded")
+	}
+}
+
+func TestProbingThroughputReflectsClock(t *testing.T) {
+	prober := sched.NewProber(0)
+	clk := vclock.NewScaled(100)
+	// Interface compliance and a sanity check that durations come
+	// from the supplied clock (non-zero throughput on instant store).
+	var c cloud.Interface = NewProbing(cloudsim.NewDirect(cloudsim.NewStore("c1", 0)), prober, clk)
+	if err := c.Upload(context.Background(), "f", make([]byte, 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	if tp := prober.Throughput("c1", sched.Up); tp <= 0 {
+		t.Fatalf("throughput = %v", tp)
+	}
+	_ = time.Now
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package transfer
+
+// raceEnabled reports that the race detector is active; timing-shaped
+// tests (scaled-clock bandwidth comparisons) are skipped under it
+// because its ~10x compute slowdown distorts simulated time.
+const raceEnabled = true

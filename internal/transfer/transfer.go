@@ -1,0 +1,483 @@
+// Package transfer is UniDrive's data-plane engine: it executes
+// upload and download plans over the clouds with multiple concurrent
+// connections per cloud, feeds completed transfers into the
+// in-channel bandwidth prober, retries transient Web API failures,
+// and excludes clouds that stop responding.
+//
+// The engine is a central dispatcher (paper §7: "priority queuing ...
+// multi-threaded file transfer to each cloud"): whenever a connection
+// slot is idle it asks the plan for that cloud's next block —
+// visiting clouds fastest-first per the prober — launches the
+// transfer, and processes completions as they arrive. Dynamic
+// decisions (over-provisioning, fastest-cloud download) therefore
+// happen block by block on live throughput information.
+package transfer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/meta"
+	"unidrive/internal/sched"
+	"unidrive/internal/vclock"
+)
+
+// DefaultBlockDir is where coded blocks live on every cloud.
+const DefaultBlockDir = ".unidrive/blocks"
+
+// DefaultConnsPerCloud matches the paper's evaluation setup ("we use
+// up to 5 connections to each cloud").
+const DefaultConnsPerCloud = 5
+
+// Config parametrizes an Engine.
+type Config struct {
+	// ConnsPerCloud is the maximum concurrent transfers per cloud.
+	ConnsPerCloud int
+	// BlockDir is the cloud directory for coded blocks.
+	BlockDir string
+	// RetryAttempts is how many times a single block transfer is
+	// tried against one cloud before counting as a failure.
+	RetryAttempts int
+	// DeadAfter is the number of consecutive failed block transfers
+	// after which a cloud is excluded from the current plan.
+	DeadAfter int
+	// SpeedCutoff excludes a cloud from download dispatch while its
+	// probed per-connection throughput is more than this factor below
+	// the fastest cloud that still has work: handing a block to a
+	// far slower cloud pins that block (the per-segment budget is k)
+	// until the slow cloud delivers, which is exactly what the
+	// paper's fastest-clouds-first download rule avoids. Unprobed
+	// clouds are always eligible. Default 4.
+	SpeedCutoff float64
+	// Clock paces retry backoff; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c *Config) fillDefaults() {
+	if c.ConnsPerCloud <= 0 {
+		c.ConnsPerCloud = DefaultConnsPerCloud
+	}
+	if c.BlockDir == "" {
+		c.BlockDir = DefaultBlockDir
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 3
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3
+	}
+	if c.SpeedCutoff <= 0 {
+		c.SpeedCutoff = 4
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+}
+
+// Engine executes plans over a fixed set of clouds. Safe for
+// concurrent use by independent plan runs.
+type Engine struct {
+	clouds map[string]cloud.Interface
+	names  []string
+	prober *sched.Prober
+	cfg    Config
+}
+
+// New creates an engine over the given clouds. prober may be shared
+// with other engines on the same device (it should be: probing
+// history is per device, not per file).
+func New(clouds []cloud.Interface, prober *sched.Prober, cfg Config) *Engine {
+	if len(clouds) == 0 {
+		panic("transfer: no clouds")
+	}
+	if prober == nil {
+		panic("transfer: nil prober")
+	}
+	cfg.fillDefaults()
+	m := make(map[string]cloud.Interface, len(clouds))
+	names := make([]string, 0, len(clouds))
+	for _, c := range clouds {
+		m[c.Name()] = c
+		names = append(names, c.Name())
+	}
+	sort.Strings(names)
+	return &Engine{clouds: m, names: names, prober: prober, cfg: cfg}
+}
+
+// Prober returns the engine's prober.
+func (e *Engine) Prober() *sched.Prober { return e.prober }
+
+// BlockDir returns the cloud directory used for coded blocks.
+func (e *Engine) BlockDir() string { return e.cfg.BlockDir }
+
+// BlockPath returns the cloud path of one coded block.
+func (e *Engine) BlockPath(segID string, blockID int) string {
+	return cloud.JoinPath(e.cfg.BlockDir, meta.BlockName(segID, blockID))
+}
+
+// BlockSource supplies block content by erasure-code index; the core
+// layer backs it with pre-encoded normal blocks and on-demand
+// generation of over-provisioned parity blocks.
+type BlockSource func(blockID int) ([]byte, error)
+
+// result is one finished transfer reported back to the dispatcher.
+type result struct {
+	item      int
+	cloudName string
+	blockID   int
+	data      []byte
+	size      int64
+	dur       time.Duration
+	err       error
+}
+
+// dispatcher tracks idle connection slots and consecutive failures.
+type dispatcher struct {
+	e       *Engine
+	idle    map[string]int
+	streak  map[string]int
+	active  int
+	results chan result
+}
+
+func (e *Engine) newDispatcher() *dispatcher {
+	d := &dispatcher{
+		e:       e,
+		idle:    make(map[string]int, len(e.names)),
+		streak:  make(map[string]int, len(e.names)),
+		results: make(chan result),
+	}
+	for _, n := range e.names {
+		d.idle[n] = e.cfg.ConnsPerCloud
+	}
+	return d
+}
+
+// retryPolicy builds the per-block retry policy using the engine's
+// clock for backoff.
+func (e *Engine) retryPolicy() cloud.RetryPolicy {
+	p := cloud.DefaultRetryPolicy(e.cfg.Clock.Sleep)
+	p.MaxAttempts = e.cfg.RetryAttempts
+	return p
+}
+
+// markOutcome updates failure streaks; it returns true when the cloud
+// should be excluded from the plan.
+func (d *dispatcher) markOutcome(cloudName string, err error) (dead bool) {
+	if err == nil {
+		d.streak[cloudName] = 0
+		return false
+	}
+	if errors.Is(err, cloud.ErrUnavailable) {
+		return true
+	}
+	d.streak[cloudName]++
+	return d.streak[cloudName] >= d.e.cfg.DeadAfter
+}
+
+// UploadItem is one segment's upload work in a batch.
+type UploadItem struct {
+	// Plan is the segment's scheduling state machine.
+	Plan *sched.UploadPlan
+	// SegID names the segment (block files are "<SegID>.<n>").
+	SegID string
+	// Src supplies block content by erasure-code index.
+	Src BlockSource
+}
+
+// UploadSegment runs a single upload plan until the stop condition
+// holds (nil means: until the plan has no more work anywhere).
+// Individual cloud failures are handled inside the plan.
+func (e *Engine) UploadSegment(ctx context.Context, plan *sched.UploadPlan, segID string,
+	src BlockSource, stop func() bool) error {
+	_, err := e.UploadBatch(ctx, []UploadItem{{Plan: plan, SegID: segID, Src: src}}, stop)
+	return err
+}
+
+// UploadBatch runs several segments' upload plans through one
+// dispatcher, realizing the paper's availability-first pipeline:
+// whenever a connection to a cloud is idle, the FIRST item in batch
+// order with work for that cloud gets it — so early files' remaining
+// blocks on slow clouds drain in the background while fast clouds
+// already push later files.
+//
+// Dispatching stops when stop() turns true (or every plan runs dry);
+// blocks already in flight are drained before returning. The returned
+// time is the moment the stop condition was first observed — the
+// batch's availability instant when stop tests all-plans-available —
+// which precedes the drain.
+func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func() bool) (time.Time, error) {
+	d := e.newDispatcher()
+	stopped := false
+	stopAt := e.cfg.Clock.Now()
+	checkStop := func() bool {
+		if stopped {
+			return true
+		}
+		if stop != nil && stop() {
+			stopped = true
+			stopAt = e.cfg.Clock.Now()
+		}
+		return stopped
+	}
+	dispatch := func() {
+		if checkStop() {
+			return
+		}
+		// Fastest clouds get first pick of the work (and of the
+		// over-provisioned extras).
+		for _, name := range e.prober.Rank(e.names, sched.Up) {
+			for d.idle[name] > 0 {
+				if checkStop() {
+					return
+				}
+				dispatched := false
+				for i, it := range items {
+					blockID, ok := it.Plan.NextBlock(name)
+					if !ok {
+						continue
+					}
+					d.idle[name]--
+					d.active++
+					go e.uploadBlock(ctx, d.results, i, name, it.SegID, blockID, it.Src)
+					dispatched = true
+					break
+				}
+				if !dispatched {
+					break
+				}
+			}
+		}
+	}
+
+	dispatch()
+	for d.active > 0 {
+		r := <-d.results
+		d.active--
+		d.idle[r.cloudName]++
+		plan := items[r.item].Plan
+		if r.err != nil {
+			plan.Fail(r.cloudName, r.blockID)
+			e.prober.ObserveFailure(r.cloudName, sched.Up)
+			if d.markOutcome(r.cloudName, r.err) {
+				for _, it := range items {
+					it.Plan.MarkDead(r.cloudName)
+				}
+			}
+		} else {
+			plan.Complete(r.cloudName, r.blockID)
+			e.prober.Observe(r.cloudName, sched.Up, r.size, r.dur)
+			d.markOutcome(r.cloudName, nil)
+		}
+		if ctx.Err() != nil {
+			// Stop dispatching; drain what is in flight.
+			continue
+		}
+		dispatch()
+	}
+	if !stopped {
+		stopAt = e.cfg.Clock.Now()
+	}
+	return stopAt, ctx.Err()
+}
+
+func (e *Engine) uploadBlock(ctx context.Context, results chan<- result, item int,
+	cloudName, segID string, blockID int, src BlockSource) {
+
+	data, err := src(blockID)
+	if err != nil {
+		results <- result{item: item, cloudName: cloudName, blockID: blockID,
+			err: fmt.Errorf("transfer: block source: %w", err)}
+		return
+	}
+	c := e.clouds[cloudName]
+	path := e.BlockPath(segID, blockID)
+	start := e.cfg.Clock.Now()
+	err = cloud.Retry(ctx, e.retryPolicy(), func() error {
+		return c.Upload(ctx, path, data)
+	})
+	results <- result{
+		item:      item,
+		cloudName: cloudName,
+		blockID:   blockID,
+		size:      int64(len(data)),
+		dur:       e.cfg.Clock.Now().Sub(start),
+		err:       err,
+	}
+}
+
+// ErrSegmentUnrecoverable reports that fewer than K blocks of a
+// segment are reachable.
+var ErrSegmentUnrecoverable = errors.New("transfer: segment unrecoverable with reachable clouds")
+
+// DownloadItem is one segment's download work in a batch.
+type DownloadItem struct {
+	// Plan is the segment's retrieval state machine.
+	Plan *sched.DownloadPlan
+	// SegID names the segment.
+	SegID string
+	// Done, when non-nil, is invoked once from the dispatcher as soon
+	// as this item's plan completes, with the item's fetched blocks —
+	// before the rest of the batch finishes. Callers use it to
+	// assemble and deliver early files while later files still
+	// transfer (the paper's per-file completion). It must return
+	// quickly: it runs on the dispatcher goroutine.
+	Done func(blocks map[int][]byte)
+}
+
+// DownloadSegment runs a single download plan to completion and
+// returns the fetched blocks (block ID -> content). It fails with
+// ErrSegmentUnrecoverable when fewer than K blocks remain reachable.
+func (e *Engine) DownloadSegment(ctx context.Context, plan *sched.DownloadPlan, segID string) (map[int][]byte, error) {
+	res, err := e.DownloadBatch(ctx, []DownloadItem{{Plan: plan, SegID: segID}})
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Done() {
+		return nil, fmt.Errorf("%w: got %d blocks", ErrSegmentUnrecoverable, len(res[0]))
+	}
+	return res[0], nil
+}
+
+// DownloadBatch runs several segments' download plans through one
+// dispatcher — idle connections of the fastest clouds always serve
+// the earliest unfinished segment — and returns each item's fetched
+// blocks, indexed like items. Individual segments may come back
+// incomplete (fewer than K blocks) when too many clouds failed; the
+// caller checks each plan's Done.
+func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map[int][]byte, error) {
+	blocks := make([]map[int][]byte, len(items))
+	for i := range blocks {
+		blocks[i] = make(map[int][]byte)
+	}
+	d := e.newDispatcher()
+	dispatch := func() {
+		ranked := e.prober.Rank(e.names, sched.Down)
+		// The fastest cloud that can still contribute sets the speed
+		// bar: a cloud SpeedCutoff× slower is skipped — its blocks
+		// wait for a fast connection instead of pinning the
+		// per-segment budget on a straw. Only clouds that actually
+		// hold needed blocks raise the bar, so blocks living solely
+		// on slow clouds are never starved.
+		hasWork := func(name string) bool {
+			for _, it := range items {
+				if it.Plan.HasWork(name) {
+					return true
+				}
+			}
+			return false
+		}
+		var fastest float64
+		for _, name := range ranked {
+			if !hasWork(name) {
+				continue
+			}
+			if tp := e.prober.Throughput(name, sched.Down); tp > fastest {
+				fastest = tp
+			}
+		}
+		for _, name := range ranked {
+			tp := e.prober.Throughput(name, sched.Down)
+			if e.prober.Samples(name, sched.Down) > 0 && tp*e.cfg.SpeedCutoff < fastest {
+				continue
+			}
+			for d.idle[name] > 0 {
+				dispatched := false
+				for i, it := range items {
+					blockID, ok := it.Plan.NextBlock(name)
+					if !ok {
+						continue
+					}
+					d.idle[name]--
+					d.active++
+					go e.downloadBlock(ctx, d.results, i, name, it.SegID, blockID)
+					dispatched = true
+					break
+				}
+				if !dispatched {
+					break
+				}
+			}
+		}
+	}
+
+	notified := make([]bool, len(items))
+	dispatch()
+	for d.active > 0 {
+		r := <-d.results
+		d.active--
+		d.idle[r.cloudName]++
+		plan := items[r.item].Plan
+		if r.err != nil {
+			plan.Fail(r.cloudName, r.blockID)
+			e.prober.ObserveFailure(r.cloudName, sched.Down)
+			if d.markOutcome(r.cloudName, r.err) {
+				for _, it := range items {
+					it.Plan.MarkDead(r.cloudName)
+				}
+			}
+		} else {
+			plan.Complete(r.cloudName, r.blockID)
+			blocks[r.item][r.blockID] = r.data
+			e.prober.Observe(r.cloudName, sched.Down, r.size, r.dur)
+			d.markOutcome(r.cloudName, nil)
+			if plan.Done() && !notified[r.item] && items[r.item].Done != nil {
+				notified[r.item] = true
+				items[r.item].Done(blocks[r.item])
+			}
+		}
+		if ctx.Err() != nil {
+			continue
+		}
+		dispatch()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return blocks, nil
+}
+
+func (e *Engine) downloadBlock(ctx context.Context, results chan<- result, item int,
+	cloudName, segID string, blockID int) {
+
+	c := e.clouds[cloudName]
+	path := e.BlockPath(segID, blockID)
+	start := e.cfg.Clock.Now()
+	var data []byte
+	err := cloud.Retry(ctx, e.retryPolicy(), func() error {
+		var derr error
+		data, derr = c.Download(ctx, path)
+		return derr
+	})
+	results <- result{
+		item:      item,
+		cloudName: cloudName,
+		blockID:   blockID,
+		data:      data,
+		size:      int64(len(data)),
+		dur:       e.cfg.Clock.Now().Sub(start),
+		err:       err,
+	}
+}
+
+// DeleteBlocks removes the given blocks (block ID -> cloud) of a
+// segment from their clouds, ignoring individual failures (orphaned
+// blocks are garbage-collected by later delete passes). It reports
+// the number of successful deletions.
+func (e *Engine) DeleteBlocks(ctx context.Context, segID string, placement map[int]string) int {
+	okCount := 0
+	for blockID, cloudName := range placement {
+		c, ok := e.clouds[cloudName]
+		if !ok {
+			continue
+		}
+		if err := c.Delete(ctx, e.BlockPath(segID, blockID)); err == nil {
+			okCount++
+		}
+	}
+	return okCount
+}

@@ -1,0 +1,60 @@
+package trial
+
+import (
+	"testing"
+
+	"unidrive/internal/workload"
+)
+
+func TestTrialSmallRun(t *testing.T) {
+	res, err := Run(Opts{Seed: 1, Scale: 800, Users: 6, FilesPerUser: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Users != 6 {
+		t.Fatalf("Users = %d", res.Users)
+	}
+	if res.Files == 0 || res.OpOK == 0 {
+		t.Fatalf("no successful uploads: %+v", res)
+	}
+	if res.APICalls == 0 {
+		t.Fatal("no API calls recorded")
+	}
+	if rate := res.OpSuccessRate(); rate < 0.5 {
+		t.Fatalf("operation success rate %.2f too low", rate)
+	}
+	// Operation-level success must not trail API-level success: the
+	// multi-cloud masks request failures (paper: 98.4%% vs 82.5%%).
+	if res.OpSuccessRate() < res.APISuccessRate()-0.05 {
+		t.Fatalf("op success %.2f below API success %.2f", res.OpSuccessRate(), res.APISuccessRate())
+	}
+	if len(res.samples) == 0 {
+		t.Fatal("no throughput samples")
+	}
+	for _, tb := range []interface{ String() string }{
+		Fig15Throughput(res), Fig16Daily(res), DeploymentStats(res),
+	} {
+		if tb.String() == "" {
+			t.Fatal("empty table")
+		}
+	}
+	t.Log("\n" + Fig15Throughput(res).String())
+	t.Log("\n" + DeploymentStats(res).String())
+}
+
+func TestRegionsCovered(t *testing.T) {
+	if len(Regions) != 4 {
+		t.Fatal("four regions expected")
+	}
+	for _, r := range Regions {
+		if regionFactor[r] == 0 {
+			t.Fatalf("region %s has no factor", r)
+		}
+	}
+}
+
+func TestBucketsUsed(t *testing.T) {
+	if len(workload.Buckets()) != 4 {
+		t.Fatal("bucket set changed")
+	}
+}

@@ -1,0 +1,121 @@
+// Package workload generates the file workloads of the paper's
+// experiments: random-content files of controlled sizes (random so
+// content-defined deduplication cannot suppress transfers, exactly as
+// the paper does), batches for the end-to-end sync experiments, and
+// the realistic size mix of the real-world trial.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Bytes returns n random bytes from the seed. Equal seeds give equal
+// content (so an uploader and a verifier can agree), different seeds
+// give effectively dedup-proof content.
+func Bytes(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// File is one generated workload file.
+type File struct {
+	// Name is the file's path in the sync folder.
+	Name string
+	// Data is its random content.
+	Data []byte
+}
+
+// Batch generates count files of size bytes each with distinct random
+// content — e.g. the paper's 100 × 1 MB batch sync workload.
+func Batch(seed int64, count, size int) []File {
+	out := make([]File, count)
+	for i := range out {
+		out[i] = File{
+			Name: fmt.Sprintf("batch/file-%04d.bin", i),
+			Data: Bytes(seed+int64(i)*7919+1, size),
+		}
+	}
+	return out
+}
+
+// SizeBucket labels a file-size range, matching the grouping of the
+// paper's Figure 15.
+type SizeBucket int
+
+// Size buckets.
+const (
+	BucketTiny   SizeBucket = iota + 1 // < 100 KB
+	BucketMedium                       // 100 KB – 1 MB
+	BucketLarge                        // 1 – 10 MB
+	BucketHuge                         // > 10 MB
+)
+
+// String names the bucket as the paper's figures do.
+func (b SizeBucket) String() string {
+	switch b {
+	case BucketTiny:
+		return "<100KB"
+	case BucketMedium:
+		return "100KB-1MB"
+	case BucketLarge:
+		return "1-10MB"
+	case BucketHuge:
+		return ">10MB"
+	default:
+		return fmt.Sprintf("SizeBucket(%d)", int(b))
+	}
+}
+
+// BucketOf classifies a size in bytes.
+func BucketOf(size int) SizeBucket {
+	switch {
+	case size < 100<<10:
+		return BucketTiny
+	case size < 1<<20:
+		return BucketMedium
+	case size < 10<<20:
+		return BucketLarge
+	default:
+		return BucketHuge
+	}
+}
+
+// Buckets lists all buckets in ascending size order.
+func Buckets() []SizeBucket {
+	return []SizeBucket{BucketTiny, BucketMedium, BucketLarge, BucketHuge}
+}
+
+// TrialSize draws a file size from the trial's mix: log-normal body
+// (documents and photos cluster in the tens-of-KB to single-MB range)
+// with a media tail — over half of the paper's trial volume was
+// documents and multimedia.
+func TrialSize(rng *rand.Rand) int {
+	// Log-normal with median ~120 KB, sigma 1.6.
+	size := int(math.Exp(math.Log(120<<10) + 1.6*rng.NormFloat64()))
+	const min = 1 << 10
+	const max = 24 << 20
+	if size < min {
+		size = min
+	}
+	if size > max {
+		size = max
+	}
+	return size
+}
+
+// TrialFiles generates one user's trial uploads.
+func TrialFiles(seed int64, count int) []File {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]File, count)
+	for i := range out {
+		size := TrialSize(rng)
+		out[i] = File{
+			Name: fmt.Sprintf("trial/u%d-f%03d.bin", seed, i),
+			Data: Bytes(seed*1000+int64(i), size),
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBytesDeterministic(t *testing.T) {
+	a := Bytes(42, 1000)
+	b := Bytes(42, 1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal seeds gave different content")
+	}
+	c := Bytes(43, 1000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds gave equal content")
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	files := Batch(1, 100, 1<<20)
+	if len(files) != 100 {
+		t.Fatalf("count = %d", len(files))
+	}
+	names := make(map[string]bool)
+	for _, f := range files {
+		if len(f.Data) != 1<<20 {
+			t.Fatalf("size = %d", len(f.Data))
+		}
+		if names[f.Name] {
+			t.Fatalf("duplicate name %s", f.Name)
+		}
+		names[f.Name] = true
+	}
+	if bytes.Equal(files[0].Data[:64], files[1].Data[:64]) {
+		t.Fatal("batch files share content; dedup would suppress transfers")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	tests := []struct {
+		size int
+		want SizeBucket
+	}{
+		{1 << 10, BucketTiny},
+		{99 << 10, BucketTiny},
+		{100 << 10, BucketMedium},
+		{1<<20 - 1, BucketMedium},
+		{1 << 20, BucketLarge},
+		{10 << 20, BucketHuge},
+	}
+	for _, tt := range tests {
+		if got := BucketOf(tt.size); got != tt.want {
+			t.Errorf("BucketOf(%d) = %v, want %v", tt.size, got, tt.want)
+		}
+	}
+	if len(Buckets()) != 4 {
+		t.Fatal("Buckets() must list all 4")
+	}
+	if BucketTiny.String() != "<100KB" || BucketHuge.String() != ">10MB" {
+		t.Fatal("bucket names wrong")
+	}
+}
+
+func TestTrialSizeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buckets := make(map[SizeBucket]int)
+	for i := 0; i < 5000; i++ {
+		s := TrialSize(rng)
+		if s < 1<<10 || s > 24<<20 {
+			t.Fatalf("size %d out of bounds", s)
+		}
+		buckets[BucketOf(s)]++
+	}
+	// The mix must populate at least the three main buckets.
+	for _, b := range []SizeBucket{BucketTiny, BucketMedium, BucketLarge} {
+		if buckets[b] < 100 {
+			t.Fatalf("bucket %v nearly empty: %d/5000", b, buckets[b])
+		}
+	}
+}
+
+func TestTrialFiles(t *testing.T) {
+	files := TrialFiles(3, 20)
+	if len(files) != 20 {
+		t.Fatalf("count = %d", len(files))
+	}
+	for _, f := range files {
+		if len(f.Data) == 0 {
+			t.Fatal("empty trial file")
+		}
+	}
+}
