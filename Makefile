@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages whose tests exercise the concurrent data plane; the race
+# detector runs over exactly these in `make test-race` and `make check`.
+RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/...
+
+.PHONY: build vet test test-race bench-erasure bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race $(RACE_PKGS)
+
+# The data-plane throughput numbers (kernels, pooled encode/decode,
+# size sweep). BENCH_erasure.json snapshots a run of these.
+bench-erasure:
+	$(GO) test -run '^$$' -bench 'BenchmarkErasure|BenchmarkGF' -benchmem ./internal/erasure/ ./internal/gf256/
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Tier-1 gate: everything a change must pass before merging.
+check: vet build test test-race

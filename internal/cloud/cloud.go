@@ -35,11 +35,18 @@ type Interface interface {
 
 	// Upload stores data at path, overwriting any existing file.
 	// Parent directories are created implicitly, matching the
-	// behaviour of commercial CCS Web APIs.
+	// behaviour of commercial CCS Web APIs. data is borrowed from the
+	// caller only for the duration of the call: implementations must
+	// not retain or mutate it after returning, because the data plane
+	// recycles block buffers through a pool as soon as an upload
+	// completes.
 	Upload(ctx context.Context, path string, data []byte) error
 
 	// Download returns the content of the file at path. It returns an
-	// error wrapping ErrNotFound when no such file exists.
+	// error wrapping ErrNotFound when no such file exists. The
+	// returned buffer is freshly allocated and owned by the caller —
+	// implementations must not hand out memory they will reuse, as
+	// callers may recycle it into buffer pools.
 	Download(ctx context.Context, path string) ([]byte, error)
 
 	// CreateDir creates the directory at path, including any missing

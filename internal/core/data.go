@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"unidrive/internal/erasure"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
 	"unidrive/internal/sched"
@@ -29,13 +30,20 @@ func (c *Client) chunkFile(info localfs.FileInfo, data []byte) (*meta.Snapshot, 
 	for _, s := range segs {
 		id := s.ID()
 		snap.SegmentIDs = append(snap.SegmentIDs, id)
-		// Copy: chunker segments alias the file buffer.
-		c.cacheSegment(id, append([]byte(nil), s.Data...))
 		if existing, ok := known.Segments[id]; ok && len(existing.Blocks) >= c.params.K {
-			// Dedup: content already in the multi-cloud.
+			// Dedup: content already in the multi-cloud. Cache the
+			// segment view without copying — it aliases the file
+			// buffer, which every caller hands over as a fresh,
+			// never-mutated read of the file, and it is only consulted
+			// again if the dedup assumption later breaks.
+			c.cacheSegment(id, s.Data)
 			records = append(records, existing.Clone())
 			continue
 		}
+		// Copy: the upload path keeps these bytes until the commit
+		// lands, and a private buffer avoids pinning the whole file
+		// buffer for one small segment.
+		c.cacheSegment(id, append([]byte(nil), s.Data...))
 		records = append(records, &meta.Segment{
 			ID:     id,
 			Length: len(s.Data),
@@ -70,15 +78,24 @@ type uploadSession struct {
 type sessionSegment struct {
 	seg  *meta.Segment
 	plan *sched.UploadPlan
-	src  transfer.BlockSource
+	src  *segmentSource
 }
 
 func (s *uploadSession) items() []transfer.UploadItem {
 	items := make([]transfer.UploadItem, len(s.plans))
 	for i, p := range s.plans {
-		items[i] = transfer.UploadItem{Plan: p.plan, SegID: p.seg.ID, Src: p.src}
+		items[i] = transfer.UploadItem{Plan: p.plan, SegID: p.seg.ID, Src: p.src.blocks}
 	}
 	return items
+}
+
+// release returns every segment source's pooled coding buffers. Call
+// it once all of the session's transfers have drained (UploadBatch
+// never returns with block reads in flight).
+func (s *uploadSession) release() {
+	for _, p := range s.plans {
+		p.src.release()
+	}
 }
 
 // uploadAvailability runs the paper's availability-first phase: each
@@ -104,10 +121,13 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 			}
 			src, err := c.blockSource(seg)
 			if err != nil {
+				session.release()
 				return nil, out, err
 			}
 			plan, err := sched.NewUploadPlan(c.params, c.names)
 			if err != nil {
+				src.release()
+				session.release()
 				return nil, out, err
 			}
 			seen[seg.ID] = true
@@ -130,11 +150,13 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 		}
 		availAt, err := c.engine.UploadBatch(ctx, session.items(), allAvailable)
 		if err != nil {
+			session.release()
 			return nil, out, err
 		}
 		session.availAt = availAt
 		for _, p := range session.plans {
 			if !p.plan.Available() {
+				session.release()
 				return nil, out, fmt.Errorf("core: segment %s could not reach availability (%d/%d blocks)",
 					p.seg.ID, len(p.plan.UploadedBlocks()), c.params.K)
 			}
@@ -216,12 +238,34 @@ func (c *Client) uploadSegmentAvailable(ctx context.Context, seg *meta.Segment, 
 	return plan, nil
 }
 
-// blockSource builds the engine's block supplier for a segment from
-// the cached content. The normal parity blocks are encoded once, in
-// bulk, on first use (the paper generates them in advance);
-// over-provisioned parity blocks are generated on demand and
-// memoized, since a failed extra may be re-requested.
-func (c *Client) blockSource(seg *meta.Segment) (transfer.BlockSource, error) {
+// segmentSource supplies a segment's coded blocks to the transfer
+// engine. The segment is split into source shards once, lazily; the
+// normal blocks are encoded in one fused pass on first request (the
+// paper generates them in advance); over-provisioned parity blocks are
+// generated on demand and memoized, since a failed extra may be
+// re-requested. All coding buffers come from the erasure package's
+// pool and go back with release(), so a steady-state sync loop encodes
+// without growing the heap.
+//
+// Buffer ownership: blocks() lends a buffer to the engine for the
+// duration of the upload; cloud.Interface.Upload must not retain its
+// data argument, and UploadBatch drains in-flight transfers before
+// returning, so release() is safe once the session's batches are done.
+type segmentSource struct {
+	coder       *erasure.Coder
+	data        []byte
+	n           int
+	normalCount int
+
+	mu      sync.Mutex
+	sh      *erasure.Shards
+	normals [][]byte
+	extras  map[int][]byte
+}
+
+// blockSource builds the block supplier for a segment from the cached
+// content.
+func (c *Client) blockSource(seg *meta.Segment) (*segmentSource, error) {
 	data, ok := c.cachedSegment(seg.ID)
 	if !ok {
 		return nil, fmt.Errorf("core: no cached content for segment %s", seg.ID)
@@ -234,32 +278,67 @@ func (c *Client) blockSource(seg *meta.Segment) (transfer.BlockSource, error) {
 	if normalCount > seg.N {
 		normalCount = seg.N
 	}
-	var mu sync.Mutex
-	var normals [][]byte
-	extras := make(map[int][]byte)
-	return func(blockID int) ([]byte, error) {
-		if blockID < 0 || blockID >= seg.N {
-			return nil, fmt.Errorf("core: block %d outside code n=%d", blockID, seg.N)
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		if blockID < normalCount {
-			if normals == nil {
-				ids := make([]int, normalCount)
-				for i := range ids {
-					ids[i] = i
-				}
-				normals = coder.EncodeBlocks(data, ids)
-			}
-			return normals[blockID], nil
-		}
-		if b, ok := extras[blockID]; ok {
-			return b, nil
-		}
-		b := coder.EncodeBlocks(data, []int{blockID})[0]
-		extras[blockID] = b
-		return b, nil
+	return &segmentSource{
+		coder:       coder,
+		data:        data,
+		n:           seg.N,
+		normalCount: normalCount,
 	}, nil
+}
+
+// blocks is the transfer.BlockSource for this segment.
+func (s *segmentSource) blocks(blockID int) ([]byte, error) {
+	if blockID < 0 || blockID >= s.n {
+		return nil, fmt.Errorf("core: block %d outside code n=%d", blockID, s.n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sh == nil {
+		s.sh = s.coder.Split(s.data)
+	}
+	if blockID < s.normalCount {
+		if s.normals == nil {
+			ids := make([]int, s.normalCount)
+			s.normals = make([][]byte, s.normalCount)
+			for i := range ids {
+				ids[i] = i
+				s.normals[i] = erasure.GetBuffer(s.sh.ShardSize())
+			}
+			s.coder.EncodeBlocksInto(s.sh, ids, s.normals)
+		}
+		return s.normals[blockID], nil
+	}
+	if b, ok := s.extras[blockID]; ok {
+		return b, nil
+	}
+	b := erasure.GetBuffer(s.sh.ShardSize())
+	s.coder.EncodeBlocksInto(s.sh, []int{blockID}, [][]byte{b})
+	if s.extras == nil {
+		s.extras = make(map[int][]byte)
+	}
+	s.extras[blockID] = b
+	return b, nil
+}
+
+// release returns the source's shard arena and block buffers to the
+// pool. The source must not serve blocks afterwards; a late blocks()
+// call would re-split and re-encode, handing out fresh buffers that
+// then leak to the garbage collector (correct, just not pooled).
+func (s *segmentSource) release() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sh != nil {
+		s.sh.Release()
+		s.sh = nil
+	}
+	for _, b := range s.normals {
+		erasure.PutBuffer(b)
+	}
+	s.normals = nil
+	for _, b := range s.extras {
+		erasure.PutBuffer(b)
+	}
+	s.extras = nil
 }
 
 // fetchSegment downloads and decodes one segment from the
@@ -288,7 +367,18 @@ func (c *Client) fetchSegment(ctx context.Context, seg *meta.Segment) ([]byte, e
 	if err != nil {
 		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
 	}
+	recycleBlocks(blocks)
 	return data, nil
+}
+
+// recycleBlocks feeds downloaded coded blocks back to the erasure
+// buffer pool once decoding is done with them. Download results are
+// caller-owned (cloud.Interface's contract), so nothing else can hold
+// a reference.
+func recycleBlocks(blocks map[int][]byte) {
+	for _, b := range blocks {
+		erasure.PutBuffer(b)
+	}
 }
 
 // fetchFile reconstructs a file's content from a snapshot, in the
@@ -352,6 +442,7 @@ func (c *Client) fetchFile(ctx context.Context, img *meta.Image, snap *meta.Snap
 		if err != nil {
 			return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
 		}
+		recycleBlocks(fetched[parts[i].item])
 		out = append(out, data...)
 	}
 	return out, nil

@@ -8,6 +8,7 @@ import (
 
 	"unidrive/internal/cloud"
 	"unidrive/internal/deltasync"
+	"unidrive/internal/erasure"
 	"unidrive/internal/meta"
 	"unidrive/internal/metacrypt"
 	"unidrive/internal/qlock"
@@ -148,22 +149,36 @@ func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
 		if err != nil {
 			return err
 		}
-		for cloudName, blockIDs := range plan.Upload {
-			target, ok := byName[cloudName]
-			if !ok {
-				return fmt.Errorf("core: rebalance target %s not in new cloud set", cloudName)
-			}
-			blocks := coder.EncodeBlocks(data, blockIDs)
-			for i, blockID := range blockIDs {
-				path := c.engine.BlockPath(seg.ID, blockID)
-				payload := blocks[i]
-				err := cloud.Retry(ctx, cloud.DefaultRetryPolicy(c.cfg.Clock.Sleep), func() error {
-					return target.Upload(ctx, path, payload)
-				})
-				if err != nil {
-					return fmt.Errorf("core: rebalance upload to %s: %w", cloudName, err)
+		// Split once, then encode each wanted block into one reused
+		// pooled buffer; Upload does not retain its data argument, so
+		// the buffer can be overwritten for the next block.
+		sh := coder.Split(data)
+		payload := erasure.GetBuffer(sh.ShardSize())
+		dst := [][]byte{payload}
+		uploadAll := func() error {
+			for cloudName, blockIDs := range plan.Upload {
+				target, ok := byName[cloudName]
+				if !ok {
+					return fmt.Errorf("core: rebalance target %s not in new cloud set", cloudName)
+				}
+				for _, blockID := range blockIDs {
+					coder.EncodeBlocksInto(sh, []int{blockID}, dst)
+					path := c.engine.BlockPath(seg.ID, blockID)
+					err := cloud.Retry(ctx, cloud.DefaultRetryPolicy(c.cfg.Clock.Sleep), func() error {
+						return target.Upload(ctx, path, payload)
+					})
+					if err != nil {
+						return fmt.Errorf("core: rebalance upload to %s: %w", cloudName, err)
+					}
 				}
 			}
+			return nil
+		}
+		err = uploadAll()
+		erasure.PutBuffer(payload)
+		sh.Release()
+		if err != nil {
+			return err
 		}
 	}
 	for cloudName, blockIDs := range plan.Delete {

@@ -144,6 +144,9 @@ func (c *Client) commitLocal(ctx context.Context, report *SyncReport) error {
 	if err != nil {
 		return err
 	}
+	// Both upload phases are over once commitLocal returns; hand the
+	// session's coding buffers back to the pool then.
+	defer session.release()
 	report.Upload = outcome
 
 	commitStart := c.cfg.Clock.Now()
@@ -310,11 +313,14 @@ func (c *Client) reuploadMissingSegments(ctx context.Context, changes []*meta.Ch
 			if err != nil {
 				return nil, err
 			}
-			plan, err := c.uploadSegmentAvailable(ctx, seg, src)
+			plan, err := c.uploadSegmentAvailable(ctx, seg, src.blocks)
 			if err != nil {
+				src.release()
 				return nil, err
 			}
-			if err := c.engine.UploadSegment(ctx, plan, seg.ID, src, nil); err != nil {
+			err = c.engine.UploadSegment(ctx, plan, seg.ID, src.blocks, nil)
+			src.release()
+			if err != nil {
 				return nil, err
 			}
 			for blockID, cloudName := range plan.Placement() {
@@ -422,6 +428,7 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 						writeErrs[f.snap.Path] = fmt.Errorf("core: segment %s: %w", seg.ID, err)
 						return
 					}
+					recycleBlocks(blocks)
 					f.parts[i] = data
 					f.missing--
 					if f.missing == 0 {

@@ -18,17 +18,19 @@ package erasure
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"unidrive/internal/gf256"
 )
 
 // Coder encodes segments into n coded blocks of which any k recover
-// the original. A Coder is immutable and safe for concurrent use.
+// the original. The encode matrix is immutable; the only mutable state
+// is the internal decode-matrix cache, which is concurrency-safe, so a
+// Coder is safe for concurrent use.
 type Coder struct {
 	k, n       int
 	enc        *gf256.Matrix
 	systematic bool
+	dec        *decodeCache
 }
 
 // ErrInsufficientBlocks is returned by Decode when fewer than k
@@ -41,7 +43,7 @@ func NewCoder(k, n int) (*Coder, error) {
 	if k <= 0 || n < k || n+k > 256 {
 		return nil, fmt.Errorf("erasure: invalid parameters k=%d n=%d", k, n)
 	}
-	return &Coder{k: k, n: n, enc: gf256.Cauchy(n, k)}, nil
+	return &Coder{k: k, n: n, enc: gf256.Cauchy(n, k), dec: newDecodeCache()}, nil
 }
 
 // NewSystematicCoder returns a (k, n) coder whose first k blocks are
@@ -66,7 +68,7 @@ func NewSystematicCoder(k, n int) (*Coder, error) {
 		// Impossible for a Cauchy matrix; fail loudly if it happens.
 		return nil, fmt.Errorf("erasure: cauchy top square not invertible: %w", err)
 	}
-	return &Coder{k: k, n: n, enc: c.Mul(inv), systematic: true}, nil
+	return &Coder{k: k, n: n, enc: c.Mul(inv), systematic: true, dec: newDecodeCache()}, nil
 }
 
 // K returns the number of source shards (blocks needed to decode).
@@ -88,19 +90,6 @@ func (c *Coder) ShardSize(segLen int) int {
 	return (segLen + c.k - 1) / c.k
 }
 
-// split pads the segment to k*shardSize bytes and returns the k
-// source shards. The returned shards alias a fresh buffer.
-func (c *Coder) split(segment []byte) [][]byte {
-	shard := c.ShardSize(len(segment))
-	buf := make([]byte, c.k*shard)
-	copy(buf, segment)
-	shards := make([][]byte, c.k)
-	for i := range shards {
-		shards[i] = buf[i*shard : (i+1)*shard]
-	}
-	return shards
-}
-
 // Encode produces all n coded blocks for the segment. Block i is the
 // i-th row of the encode matrix applied to the source shards. The
 // original segment length must be remembered by the caller (UniDrive
@@ -114,22 +103,41 @@ func (c *Coder) Encode(segment []byte) [][]byte {
 // parity blocks on demand (paper §6.1: they "can be generated either
 // in advance ... or on demand") without paying for the full n. It
 // panics if an index is out of [0, n).
+//
+// The returned blocks are ordinary garbage-collected buffers owned by
+// the caller. Hot paths that encode the same segment repeatedly or
+// recycle block buffers use Split + EncodeBlocksInto instead.
 func (c *Coder) EncodeBlocks(segment []byte, indices []int) [][]byte {
-	shards := c.split(segment)
-	shardSize := len(shards[0])
+	sh := c.Split(segment)
+	defer sh.Release()
 	out := make([][]byte, len(indices))
+	for i := range out {
+		out[i] = make([]byte, sh.ShardSize())
+	}
+	c.EncodeBlocksInto(sh, indices, out)
+	return out
+}
+
+// EncodeBlocksInto writes the coded blocks with the given indices over
+// the pre-split shards into dst: dst[i] receives block indices[i] and
+// must be exactly ShardSize bytes long (its prior contents are
+// ignored, so pooled buffers need no zeroing). It panics if an index
+// is out of [0, n), if len(dst) != len(indices), or if a destination
+// has the wrong size. Encoding is column-tiled and fans out across
+// GOMAXPROCS workers for large shards.
+func (c *Coder) EncodeBlocksInto(sh *Shards, indices []int, dst [][]byte) {
+	if len(dst) != len(indices) {
+		panic(fmt.Sprintf("erasure: %d destinations for %d block indices", len(dst), len(indices)))
+	}
 	for oi, idx := range indices {
 		if idx < 0 || idx >= c.n {
 			panic(fmt.Sprintf("erasure: block index %d out of range [0,%d)", idx, c.n))
 		}
-		block := make([]byte, shardSize)
-		row := c.enc.Row(idx)
-		for j, coef := range row {
-			gf256.MulAddSlice(coef, shards[j], block)
+		if len(dst[oi]) != sh.ShardSize() {
+			panic(fmt.Sprintf("erasure: destination %d has size %d, want %d", oi, len(dst[oi]), sh.ShardSize()))
 		}
-		out[oi] = block
 	}
-	return out
+	codeStripes(c.enc, indices, sh.Rows(), dst, sh.ShardSize())
 }
 
 // Decode reconstructs a segment of origLen bytes from any k coded
@@ -137,18 +145,41 @@ func (c *Coder) EncodeBlocks(segment []byte, indices []int) [][]byte {
 // have equal length ShardSize(origLen). Extra blocks beyond k are
 // ignored (the k smallest indices are used, which keeps decoding
 // deterministic).
+//
+// The returned buffer is freshly allocated and owned by the caller;
+// DecodeInto is the allocation-free variant.
 func (c *Coder) Decode(blocks map[int][]byte, origLen int) ([]byte, error) {
+	return c.DecodeInto(nil, blocks, origLen)
+}
+
+// DecodeInto is Decode writing into caller-provided memory: when
+// cap(dst) >= k*ShardSize(origLen) the reconstruction happens in dst
+// and the result (length origLen) aliases it; otherwise a new buffer
+// is allocated as in Decode. dst's prior contents are ignored, so a
+// dirty pooled buffer is fine.
+//
+// The decode matrix is served from a per-coder LRU cache keyed by the
+// sorted block-index set, so steady-state downloads (the same clouds
+// answering segment after segment) skip Gaussian elimination; rows are
+// reconstructed with the fused column-tiled kernels, in parallel for
+// large shards.
+func (c *Coder) DecodeInto(dst []byte, blocks map[int][]byte, origLen int) ([]byte, error) {
 	if len(blocks) < c.k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficientBlocks, len(blocks), c.k)
 	}
-	idxs := make([]int, 0, len(blocks))
+	// Collect the k smallest block indices without heap traffic.
+	var idxStack [maxStackShards]int
+	idxs := idxStack[:0]
+	if len(blocks) > maxStackShards {
+		idxs = make([]int, 0, len(blocks))
+	}
 	for i := range blocks {
 		if i < 0 || i >= c.n {
 			return nil, fmt.Errorf("erasure: block index %d out of range [0,%d)", i, c.n)
 		}
 		idxs = append(idxs, i)
 	}
-	sort.Ints(idxs)
+	insertionSort(idxs)
 	idxs = idxs[:c.k]
 
 	shardSize := c.ShardSize(origLen)
@@ -158,23 +189,51 @@ func (c *Coder) Decode(blocks map[int][]byte, origLen int) ([]byte, error) {
 		}
 	}
 
-	sub := c.enc.SubMatrix(idxs)
-	inv, err := sub.Invert()
+	inv, err := c.decodeMatrix(idxs)
 	if err != nil {
 		return nil, fmt.Errorf("erasure: decode matrix inversion: %w", err)
 	}
+
+	need := c.k * shardSize
+	if origLen < 0 || origLen > need {
+		return nil, fmt.Errorf("erasure: original length %d outside [0,%d]", origLen, need)
+	}
+	buf := dst
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+
 	// Reconstruct the k source shards: src = inv × received.
-	buf := make([]byte, c.k*shardSize)
-	for row := 0; row < c.k; row++ {
-		dst := buf[row*shardSize : (row+1)*shardSize]
-		for col, coef := range inv.Row(row) {
-			gf256.MulAddSlice(coef, blocks[idxs[col]], dst)
+	var srcStack, rowStack [maxStackShards][]byte
+	srcs, rows := srcStack[:0], rowStack[:0]
+	if c.k > maxStackShards {
+		srcs = make([][]byte, 0, c.k)
+		rows = make([][]byte, 0, c.k)
+	}
+	var rowIdxStack [maxStackShards]int
+	rowIdx := rowIdxStack[:0]
+	if c.k > maxStackShards {
+		rowIdx = make([]int, 0, c.k)
+	}
+	for r := 0; r < c.k; r++ {
+		srcs = append(srcs, blocks[idxs[r]])
+		rows = append(rows, buf[r*shardSize:(r+1)*shardSize])
+		rowIdx = append(rowIdx, r)
+	}
+	codeStripes(inv, rowIdx, srcs, rows, shardSize)
+	return buf[:origLen], nil
+}
+
+// insertionSort sorts small int slices in place without the interface
+// or escape costs of the sort package; decode index sets have at most
+// n <= 256 elements and typically fewer than ten.
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
 		}
 	}
-	if origLen < 0 || origLen > len(buf) {
-		return nil, fmt.Errorf("erasure: original length %d outside [0,%d]", origLen, len(buf))
-	}
-	return buf[:origLen], nil
 }
 
 func allIndices(n int) []int {

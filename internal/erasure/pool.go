@@ -1,0 +1,126 @@
+// Buffer pooling for the coding hot path.
+//
+// Every upload encodes n coded blocks per segment and every download
+// holds k fetched blocks until decode; with 4 MiB segments that is
+// megabytes of short-lived buffers per segment, all of identical sizes
+// within a sync session. The shard arena below recycles them through
+// size-classed sync.Pools instead of the garbage collector.
+//
+// Ownership contract: a buffer obtained from GetBuffer (directly or
+// via Coder.Split) belongs to the caller until the caller passes it to
+// PutBuffer or Shards.Release — after that the caller must not touch
+// it again. PutBuffer accepts buffers of any origin (e.g. blocks
+// allocated by a cloud Download), so the pool refills from the data
+// plane's natural traffic. Contents of pooled buffers are NOT zeroed;
+// consumers that need clean memory must clear it themselves (the
+// assign-form kernels never read their destination, so the coder does
+// not).
+
+package erasure
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxPoolBits caps the pooled size classes at 64 MiB; larger buffers
+// go straight to the garbage collector.
+const maxPoolBits = 26
+
+// bufPools[c] holds buffers with capacity >= 1<<c. Buffers are filed
+// under the largest class their capacity fully covers, so a Get from
+// class c can always slice to any length <= 1<<c.
+var bufPools [maxPoolBits + 1]sync.Pool
+
+// GetBuffer returns a byte slice of length n from the pool, allocating
+// if the pool is empty. The contents are undefined (dirty); see the
+// ownership contract in the package comment above.
+func GetBuffer(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	cls := bits.Len(uint(n - 1))
+	if cls > maxPoolBits {
+		return make([]byte, n)
+	}
+	if p, _ := bufPools[cls].Get().(*[]byte); p != nil {
+		return (*p)[:n]
+	}
+	return make([]byte, n, 1<<cls)
+}
+
+// PutBuffer returns buf to the pool. The caller must not use buf (or
+// anything aliasing it) afterwards. Buffers from any allocator are
+// accepted; nil and zero-capacity buffers are ignored.
+func PutBuffer(buf []byte) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1 // largest class fully covered by cap
+	if cls > maxPoolBits {
+		cls = maxPoolBits
+	}
+	b := buf[:0]
+	bufPools[cls].Put(&b)
+}
+
+// shardsPool recycles the Shards headers themselves so the steady-state
+// split path allocates nothing.
+var shardsPool = sync.Pool{New: func() any { return new(Shards) }}
+
+// Shards is a segment split once into k padded source shards, backed by
+// one pooled buffer. It is the input to EncodeBlocksInto, letting a
+// caller that encodes blocks of the same segment repeatedly (e.g.
+// on-demand over-provisioning) pay the split copy once.
+//
+// A Shards is read-only after Split and safe for concurrent use; call
+// Release exactly once when no further encodes of the segment are
+// needed. The views returned by Rows alias the internal buffer and die
+// with it.
+type Shards struct {
+	shardSize int
+	buf       []byte
+	views     [][]byte
+}
+
+// ShardSize returns the per-shard (and per coded block) byte size.
+func (s *Shards) ShardSize() int { return s.shardSize }
+
+// Rows returns the k source shards. Callers must not modify them.
+func (s *Shards) Rows() [][]byte { return s.views }
+
+// Release returns the backing buffer to the pool. The Shards and every
+// slice previously returned by Rows become invalid.
+func (s *Shards) Release() {
+	if s.buf == nil {
+		return
+	}
+	PutBuffer(s.buf)
+	s.buf = nil
+	s.views = s.views[:0]
+	s.shardSize = 0
+	shardsPool.Put(s)
+}
+
+// Split pads the segment to k*ShardSize(len(segment)) bytes in a
+// pooled buffer and returns the k source shards. The segment bytes are
+// copied, so the caller's buffer is free immediately; the result must
+// be Released when the caller is done encoding.
+func (c *Coder) Split(segment []byte) *Shards {
+	shard := c.ShardSize(len(segment))
+	need := c.k * shard
+	s := shardsPool.Get().(*Shards)
+	s.shardSize = shard
+	s.buf = GetBuffer(need)
+	n := copy(s.buf, segment)
+	clear(s.buf[n:]) // pooled buffers are dirty; the padding must be zero
+	if cap(s.views) < c.k {
+		s.views = make([][]byte, c.k)
+	}
+	s.views = s.views[:c.k]
+	for i := range s.views {
+		s.views[i] = s.buf[i*shard : (i+1)*shard]
+	}
+	return s
+}

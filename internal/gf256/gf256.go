@@ -19,8 +19,15 @@ type tables struct {
 	exp [512]byte // exp[i] = g^i, doubled to avoid a mod in Mul
 	log [256]byte // log[x] = i such that g^i = x, log[0] unused
 	// mul is the full product table: mul[a][b] = a*b. 64 KiB buys a
-	// single lookup per byte in the coder's hot loops.
+	// single lookup per byte in the scalar slice loops.
 	mul [256][256]byte
+	// mulLo/mulHi are the split nibble product tables used by the wide
+	// kernels (kernels.go): mulLo[c][x] = c·x and mulHi[c][x] = c·(x<<4),
+	// so c·b = mulLo[c][b&15] ^ mulHi[c][b>>4]. Each coefficient's pair
+	// is 32 B — resident in L1 for the whole run of a kernel, unlike a
+	// 256 B row of the full table competing with src/dst streams.
+	mulLo [256][16]byte
+	mulHi [256][16]byte
 }
 
 // _tab is read-only after construction; safe for concurrent use.
@@ -43,6 +50,12 @@ func newTables() *tables {
 	for a := 1; a < 256; a++ {
 		for b := 1; b < 256; b++ {
 			t.mul[a][b] = t.exp[int(t.log[a])+int(t.log[b])]
+		}
+	}
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 16; x++ {
+			t.mulLo[c][x] = t.mul[c][x]
+			t.mulHi[c][x] = t.mul[c][x<<4]
 		}
 	}
 	return &t
@@ -95,8 +108,29 @@ func Exp(n int) byte {
 }
 
 // MulSlice sets dst[i] = c * src[i] for all i. dst and src must have
-// equal length; dst may alias src.
+// equal length; dst may alias src. It uses the wide split-table kernel
+// (kernels.go); MulSliceScalar is the byte-at-a-time reference.
 func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	mulSliceWide(c, src, dst)
+}
+
+// MulSliceScalar is the scalar reference for MulSlice: one full-table
+// lookup per byte. Kept for equivalence tests and as the baseline in
+// kernel benchmarks.
+func MulSliceScalar(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulSlice length mismatch")
 	}
@@ -117,8 +151,27 @@ func MulSlice(c byte, src, dst []byte) {
 }
 
 // MulAddSlice sets dst[i] ^= c * src[i] for all i — the fused
-// multiply-accumulate at the heart of Reed–Solomon encoding.
+// multiply-accumulate at the heart of Reed–Solomon encoding. It uses
+// the wide split-table kernel (kernels.go); MulAddSliceScalar is the
+// byte-at-a-time reference.
 func MulAddSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		xorSlice(src, dst)
+		return
+	}
+	mulAddSliceWide(c, src, dst)
+}
+
+// MulAddSliceScalar is the scalar reference for MulAddSlice: one
+// full-table lookup per byte. Kept for equivalence tests and as the
+// baseline in kernel benchmarks.
+func MulAddSliceScalar(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic("gf256: MulAddSlice length mismatch")
 	}

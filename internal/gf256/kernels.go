@@ -1,0 +1,241 @@
+// Wide GF(2^8) kernels: 8 bytes per iteration with uint64 accumulates.
+//
+// The scalar kernels in gf256.go walk one byte at a time, loading and
+// storing dst per byte. The kernels here move src and dst through
+// uint64 words: eight product lookups are packed into one word which is
+// XORed into dst with a single 8-byte load + store. encoding/binary
+// little-endian accesses compile to single MOVs on little-endian
+// hardware and stay correct elsewhere; everything is pure Go.
+//
+// Two table layouts back the kernels:
+//
+//   - the full-row layout (one 256 B row of the 64 KiB product table
+//     per coefficient): one lookup per byte. Fastest in pure Go, used
+//     by MulSlice/MulAddSlice/MulAddSlices.
+//   - the split-table layout (low/high nibble, 2×16 B per coefficient,
+//     see tables.mulLo/mulHi): c·b = mulLo[c][b&15] ^ mulHi[c][b>>4].
+//     This is the canonical SIMD layout (a coefficient's entire table
+//     pair fits in one vector register for PSHUFB/TBL-style shuffles).
+//     On amd64 with AVX2 it backs the assembly kernels in
+//     kernels_amd64.s — VPSHUFB performs 32 lookups per instruction —
+//     which the kernels below dispatch to via accelMulAdd/accelMul.
+//     The portable reference implementation is exported as
+//     MulAddSliceNibble; measured on scalar cores the full-row kernel
+//     wins, so the pure-Go hot path uses that.
+//
+// MulAddSlices/MulSlices additionally fuse several coefficient rows
+// into one pass: the destination word is loaded once, accumulates every
+// row's contribution in a register, and is stored once. For a (k, n)
+// Reed–Solomon code that cuts dst memory traffic per output block from
+// 2k words to 2 (MulSlices: to 1, since it never reads dst).
+
+package gf256
+
+import "encoding/binary"
+
+// wideStride is the number of bytes each wide-kernel iteration handles.
+const wideStride = 8
+
+// mulWord8 multiplies all 8 bytes packed in s by the coefficient whose
+// full product-table row is row.
+func mulWord8(row *[256]byte, s uint64) uint64 {
+	return uint64(row[s&255]) |
+		uint64(row[(s>>8)&255])<<8 |
+		uint64(row[(s>>16)&255])<<16 |
+		uint64(row[(s>>24)&255])<<24 |
+		uint64(row[(s>>32)&255])<<32 |
+		uint64(row[(s>>40)&255])<<40 |
+		uint64(row[(s>>48)&255])<<48 |
+		uint64(row[s>>56])<<56
+}
+
+// mulAddSliceWide sets dst[i] ^= c*src[i] with 8-byte strides and a
+// scalar tail. Callers have already handled c == 0, c == 1 and length
+// validation.
+func mulAddSliceWide(c byte, src, dst []byte) {
+	row := &_tab.mul[c]
+	i := accelMulAdd(c, src, dst) // vector prefix, 0 without a backend
+	n := len(src) &^ (wideStride - 1)
+	for ; i < n; i += wideStride {
+		s := binary.LittleEndian.Uint64(src[i:])
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^mulWord8(row, s))
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// mulSliceWide sets dst[i] = c*src[i] with 8-byte strides and a scalar
+// tail. Callers have already handled c == 0, c == 1 and length
+// validation.
+func mulSliceWide(c byte, src, dst []byte) {
+	row := &_tab.mul[c]
+	i := accelMul(c, src, dst) // vector prefix, 0 without a backend
+	n := len(src) &^ (wideStride - 1)
+	for ; i < n; i += wideStride {
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], mulWord8(row, s))
+	}
+	for ; i < len(src); i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// xorSlice sets dst[i] ^= src[i] — the c == 1 fast path — word-wise.
+func xorSlice(src, dst []byte) {
+	n := len(src) &^ (wideStride - 1)
+	for i := 0; i < n; i += wideStride {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulAddSliceNibble sets dst[i] ^= c*src[i] using the split low/high
+// nibble tables — the SIMD-canonical kernel layout (see the package
+// comment above). Semantically identical to MulAddSlice; kept exported
+// so accelerator backends and the equivalence tests exercise the split
+// tables directly.
+func MulAddSliceNibble(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic("gf256: MulAddSlice length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	lo, hi := &_tab.mulLo[c], &_tab.mulHi[c]
+	n := len(src) &^ (wideStride - 1)
+	for i := 0; i < n; i += wideStride {
+		s := binary.LittleEndian.Uint64(src[i:])
+		r := uint64(lo[s&15]^hi[(s>>4)&15]) |
+			uint64(lo[(s>>8)&15]^hi[(s>>12)&15])<<8 |
+			uint64(lo[(s>>16)&15]^hi[(s>>20)&15])<<16 |
+			uint64(lo[(s>>24)&15]^hi[(s>>28)&15])<<24 |
+			uint64(lo[(s>>32)&15]^hi[(s>>36)&15])<<32 |
+			uint64(lo[(s>>40)&15]^hi[(s>>44)&15])<<40 |
+			uint64(lo[(s>>48)&15]^hi[(s>>52)&15])<<48 |
+			uint64(lo[(s>>56)&15]^hi[(s>>60)&15])<<56
+		d := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^r)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= lo[src[i]&15] ^ hi[src[i]>>4]
+	}
+}
+
+// maxFused bounds how many coefficient rows one fused pass carries;
+// per-row table pointers live in stack arrays of this size, so the
+// batched kernels allocate nothing.
+const maxFused = 16
+
+// MulAddSlices sets dst[i] ^= Σ_j coeffs[j]·srcs[j][i] — one fused
+// pass of a whole matrix row over its source shards. len(coeffs) must
+// equal len(srcs) and every srcs[j] must have len(dst) bytes. Rows
+// beyond maxFused are processed in successive fused groups.
+func MulAddSlices(coeffs []byte, srcs [][]byte, dst []byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf256: MulAddSlices coefficient/source count mismatch")
+	}
+	for len(coeffs) > maxFused {
+		mulAddSlicesFused(coeffs[:maxFused], srcs[:maxFused], dst)
+		coeffs, srcs = coeffs[maxFused:], srcs[maxFused:]
+	}
+	mulAddSlicesFused(coeffs, srcs, dst)
+}
+
+// MulSlices sets dst[i] = Σ_j coeffs[j]·srcs[j][i], overwriting dst —
+// the assign-form of MulAddSlices used when dst holds garbage (e.g. a
+// pooled buffer). With a vector backend the first live row is written
+// with the assign kernel so dst is never read at all; the portable
+// path clears dst once (a runtime memclr) and runs the fused
+// accumulate loop.
+func MulSlices(coeffs []byte, srcs [][]byte, dst []byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf256: MulSlices coefficient/source count mismatch")
+	}
+	if accelAvailable() {
+		assigned := false
+		for j, c := range coeffs {
+			if len(srcs[j]) != len(dst) {
+				panic("gf256: MulAddSlices length mismatch")
+			}
+			switch {
+			case c == 0:
+			case !assigned && c == 1:
+				copy(dst, srcs[j])
+				assigned = true
+			case !assigned:
+				mulSliceWide(c, srcs[j], dst)
+				assigned = true
+			case c == 1:
+				xorSlice(srcs[j], dst)
+			default:
+				mulAddSliceWide(c, srcs[j], dst)
+			}
+		}
+		if !assigned {
+			clear(dst)
+		}
+		return
+	}
+	clear(dst)
+	MulAddSlices(coeffs, srcs, dst)
+}
+
+func mulAddSlicesFused(coeffs []byte, srcs [][]byte, dst []byte) {
+	var cs [maxFused]byte
+	var rows [maxFused]*[256]byte
+	var live [maxFused][]byte
+	n := 0
+	for j, c := range coeffs {
+		if len(srcs[j]) != len(dst) {
+			panic("gf256: MulAddSlices length mismatch")
+		}
+		switch c {
+		case 0:
+			continue
+		case 1:
+			// Identity rows short-circuit to the cheaper xor kernel;
+			// they are common in systematic encode matrices.
+			xorSlice(srcs[j], dst)
+			continue
+		}
+		cs[n] = c
+		rows[n] = &_tab.mul[c]
+		live[n] = srcs[j]
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 || accelAvailable() {
+		// A single row, or a vector backend: per-row passes win over
+		// the fused word loop — the vector kernel does 32 lookups per
+		// instruction, and callers tile dst into cache-resident
+		// columns, so re-reading dst once per row is cheap.
+		for j := 0; j < n; j++ {
+			mulAddSliceWide(cs[j], live[j], dst)
+		}
+		return
+	}
+	w := len(dst) &^ (wideStride - 1)
+	for i := 0; i < w; i += wideStride {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		for j := 0; j < n; j++ {
+			s := binary.LittleEndian.Uint64(live[j][i:])
+			d ^= mulWord8(rows[j], s)
+		}
+		binary.LittleEndian.PutUint64(dst[i:], d)
+	}
+	for i := w; i < len(dst); i++ {
+		b := dst[i]
+		for j := 0; j < n; j++ {
+			b ^= rows[j][live[j][i]]
+		}
+		dst[i] = b
+	}
+}

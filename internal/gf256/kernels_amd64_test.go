@@ -1,0 +1,108 @@
+//go:build amd64 && !purego
+
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestVectorMatchesPortable turns the AVX2 backend off and re-runs the
+// slice kernels on the identical inputs, proving the vector and the
+// pure-Go paths produce byte-identical output across lengths that
+// straddle the 32-byte vector width and the accelMinLen cutoff.
+func TestVectorMatchesPortable(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("no AVX2 on this machine")
+	}
+	defer func() { hasAVX2 = true }()
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 31, 32, 33, 63, 64, 65, 95, 96, 127, 128, 257, 4096, 4099}
+	for _, n := range lengths {
+		src := randBytes(rng, n)
+		base := randBytes(rng, n)
+		for _, c := range []byte{0, 1, 2, 29, 142, 255} {
+			vecAdd := append([]byte(nil), base...)
+			vecSet := append([]byte(nil), base...)
+			hasAVX2 = true
+			MulAddSlice(c, src, vecAdd)
+			MulSlice(c, src, vecSet)
+
+			goAdd := append([]byte(nil), base...)
+			goSet := append([]byte(nil), base...)
+			hasAVX2 = false
+			MulAddSlice(c, src, goAdd)
+			MulSlice(c, src, goSet)
+			hasAVX2 = true
+
+			if !bytes.Equal(vecAdd, goAdd) {
+				t.Fatalf("MulAddSlice(c=%d, n=%d): vector and portable disagree", c, n)
+			}
+			if !bytes.Equal(vecSet, goSet) {
+				t.Fatalf("MulSlice(c=%d, n=%d): vector and portable disagree", c, n)
+			}
+		}
+	}
+}
+
+// TestVectorFusedMatchesPortable does the same for the batched
+// MulAddSlices/MulSlices entry points, whose dispatch differs (per-row
+// vector passes vs the fused word loop).
+func TestVectorFusedMatchesPortable(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("no AVX2 on this machine")
+	}
+	defer func() { hasAVX2 = true }()
+	rng := rand.New(rand.NewSource(8))
+	for _, k := range []int{1, 2, 4, 17} {
+		for _, n := range []int{33, 64, 257, 4099} {
+			coeffs := make([]byte, k)
+			srcs := make([][]byte, k)
+			for j := range coeffs {
+				coeffs[j] = byte(rng.Intn(256))
+				srcs[j] = randBytes(rng, n)
+			}
+			base := randBytes(rng, n)
+
+			vecAdd := append([]byte(nil), base...)
+			vecSet := append([]byte(nil), base...)
+			hasAVX2 = true
+			MulAddSlices(coeffs, srcs, vecAdd)
+			MulSlices(coeffs, srcs, vecSet)
+
+			goAdd := append([]byte(nil), base...)
+			goSet := append([]byte(nil), base...)
+			hasAVX2 = false
+			MulAddSlices(coeffs, srcs, goAdd)
+			MulSlices(coeffs, srcs, goSet)
+			hasAVX2 = true
+
+			if !bytes.Equal(vecAdd, goAdd) {
+				t.Fatalf("MulAddSlices(k=%d, n=%d): vector and portable disagree", k, n)
+			}
+			if !bytes.Equal(vecSet, goSet) {
+				t.Fatalf("MulSlices(k=%d, n=%d): vector and portable disagree", k, n)
+			}
+		}
+	}
+}
+
+// BenchmarkGFMulAddSlicePortable is BenchmarkGFMulAddSliceWide with
+// the vector backend forced off — the pure-Go fallback's number.
+func BenchmarkGFMulAddSlicePortable(b *testing.B) {
+	if !hasAVX2 {
+		b.Skip("no AVX2: the Wide benchmark already measures the portable path")
+	}
+	hasAVX2 = false
+	defer func() { hasAVX2 = true }()
+	rng := rand.New(rand.NewSource(9))
+	src := randBytes(rng, 64<<10)
+	dst := randBytes(rng, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(byte(i)|2, src, dst)
+	}
+}

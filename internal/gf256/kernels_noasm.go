@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package gf256
+
+// No vector backend on this platform: the wide word kernels in
+// kernels.go are the fastest path.
+
+func accelAvailable() bool { return false }
+
+func accelMulAdd(c byte, src, dst []byte) int { return 0 }
+
+func accelMul(c byte, src, dst []byte) int { return 0 }

@@ -1,0 +1,196 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randBytes returns n deterministic pseudo-random bytes.
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestWideKernelsMatchScalar is the exhaustive equivalence property:
+// for every coefficient 0..255 and every length 0..257 (covering the
+// empty slice, the pure scalar tail, and both remainder sides of the
+// 8-byte stride) the wide kernels produce bit-identical results to the
+// scalar reference kernels.
+func TestWideKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for length := 0; length <= 257; length++ {
+		src := randBytes(rng, length)
+		base := randBytes(rng, length)
+		for c := 0; c < 256; c++ {
+			coef := byte(c)
+
+			wantAdd := append([]byte(nil), base...)
+			MulAddSliceScalar(coef, src, wantAdd)
+			gotAdd := append([]byte(nil), base...)
+			MulAddSlice(coef, src, gotAdd)
+			if !bytes.Equal(gotAdd, wantAdd) {
+				t.Fatalf("MulAddSlice(c=%#x, len=%d) diverges from scalar", coef, length)
+			}
+
+			gotNib := append([]byte(nil), base...)
+			MulAddSliceNibble(coef, src, gotNib)
+			if !bytes.Equal(gotNib, wantAdd) {
+				t.Fatalf("MulAddSliceNibble(c=%#x, len=%d) diverges from scalar", coef, length)
+			}
+
+			wantMul := make([]byte, length)
+			MulSliceScalar(coef, src, wantMul)
+			gotMul := append([]byte(nil), base...) // dirty dst: must be overwritten
+			MulSlice(coef, src, gotMul)
+			if !bytes.Equal(gotMul, wantMul) {
+				t.Fatalf("MulSlice(c=%#x, len=%d) diverges from scalar", coef, length)
+			}
+		}
+	}
+}
+
+// TestMulSliceAliasing checks the documented dst-aliases-src case for
+// the wide path.
+func TestMulSliceAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := randBytes(rng, 100)
+	want := make([]byte, len(src))
+	MulSliceScalar(0x53, src, want)
+	got := append([]byte(nil), src...)
+	MulSlice(0x53, got, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("MulSlice with dst aliasing src diverges from scalar")
+	}
+}
+
+// TestMulAddSlicesMatchesSequential checks the fused multi-row kernel
+// against row-by-row scalar accumulation, for row counts on both sides
+// of maxFused and coefficient sets that include 0 and 1.
+func TestMulAddSlicesMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, rows := range []int{0, 1, 2, 3, maxFused - 1, maxFused, maxFused + 1, 2*maxFused + 3} {
+		for _, length := range []int{0, 1, 7, 8, 9, 64, 255, 256, 257} {
+			coeffs := make([]byte, rows)
+			srcs := make([][]byte, rows)
+			for j := range srcs {
+				switch j % 4 {
+				case 0:
+					coeffs[j] = 0 // skipped row
+				case 1:
+					coeffs[j] = 1 // identity row
+				default:
+					coeffs[j] = byte(rng.Intn(254) + 2)
+				}
+				srcs[j] = randBytes(rng, length)
+			}
+			base := randBytes(rng, length)
+
+			want := append([]byte(nil), base...)
+			for j := range srcs {
+				MulAddSliceScalar(coeffs[j], srcs[j], want)
+			}
+			got := append([]byte(nil), base...)
+			MulAddSlices(coeffs, srcs, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddSlices(rows=%d, len=%d) diverges from sequential scalar", rows, length)
+			}
+
+			// Assign form: a dirty dst must not leak through.
+			dirty := randBytes(rng, length)
+			MulSlices(coeffs, srcs, dirty)
+			wantAssign := make([]byte, length)
+			for j := range srcs {
+				MulAddSliceScalar(coeffs[j], srcs[j], wantAssign)
+			}
+			if !bytes.Equal(dirty, wantAssign) {
+				t.Fatalf("MulSlices(rows=%d, len=%d) diverges from sequential scalar", rows, length)
+			}
+		}
+	}
+}
+
+func TestMulAddSlicesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on coefficient/source count mismatch")
+		}
+	}()
+	MulAddSlices([]byte{1, 2}, [][]byte{make([]byte, 4)}, make([]byte, 4))
+}
+
+func TestMulAddSlicesPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on source length mismatch")
+		}
+	}()
+	MulAddSlices([]byte{2}, [][]byte{make([]byte, 3)}, make([]byte, 4))
+}
+
+const benchKernelLen = 64 << 10
+
+func BenchmarkGFMulAddSliceScalar(b *testing.B) {
+	src := randBytes(rand.New(rand.NewSource(4)), benchKernelLen)
+	dst := make([]byte, benchKernelLen)
+	b.SetBytes(benchKernelLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSliceScalar(0x8e, src, dst)
+	}
+}
+
+func BenchmarkGFMulAddSliceNibble(b *testing.B) {
+	src := randBytes(rand.New(rand.NewSource(4)), benchKernelLen)
+	dst := make([]byte, benchKernelLen)
+	b.SetBytes(benchKernelLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSliceNibble(0x8e, src, dst)
+	}
+}
+
+func BenchmarkGFMulAddSliceWide(b *testing.B) {
+	src := randBytes(rand.New(rand.NewSource(4)), benchKernelLen)
+	dst := make([]byte, benchKernelLen)
+	b.SetBytes(benchKernelLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x8e, src, dst)
+	}
+}
+
+// BenchmarkGFMulAddSlicesFused measures the k-row fused kernel against
+// k sequential wide calls at the coder's working shape (k=4 shards).
+func BenchmarkGFMulAddSlicesFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	coeffs := []byte{0x8e, 0x4d, 0xa2, 0x17}
+	srcs := make([][]byte, len(coeffs))
+	for j := range srcs {
+		srcs[j] = randBytes(rng, benchKernelLen)
+	}
+	dst := make([]byte, benchKernelLen)
+	b.SetBytes(int64(len(coeffs)) * benchKernelLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSlices(coeffs, srcs, dst)
+	}
+}
+
+func BenchmarkGFMulAddSlicesSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	coeffs := []byte{0x8e, 0x4d, 0xa2, 0x17}
+	srcs := make([][]byte, len(coeffs))
+	for j := range srcs {
+		srcs[j] = randBytes(rng, benchKernelLen)
+	}
+	dst := make([]byte, benchKernelLen)
+	b.SetBytes(int64(len(coeffs)) * benchKernelLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range coeffs {
+			MulAddSlice(coeffs[j], srcs[j], dst)
+		}
+	}
+}

@@ -122,6 +122,14 @@ func (e *Engine) BlockPath(segID string, blockID int) string {
 // BlockSource supplies block content by erasure-code index; the core
 // layer backs it with pre-encoded normal blocks and on-demand
 // generation of over-provisioned parity blocks.
+//
+// Buffer ownership: the returned slice stays owned by the source; the
+// engine only reads it between the call and the completion of the
+// block's upload. Since UploadSegment/UploadBatch drain all in-flight
+// uploads before returning, the source may recycle every buffer it
+// handed out as soon as the batch call returns. The same blockID may
+// be requested more than once (retries on other clouds) and must
+// yield identical content each time.
 type BlockSource func(blockID int) ([]byte, error)
 
 // result is one finished transfer reported back to the dispatcher.
@@ -349,6 +357,10 @@ func (e *Engine) DownloadSegment(ctx context.Context, plan *sched.DownloadPlan, 
 // blocks, indexed like items. Individual segments may come back
 // incomplete (fewer than K blocks) when too many clouds failed; the
 // caller checks each plan's Done.
+//
+// The fetched block buffers are exclusively the caller's
+// (cloud.Interface.Download allocates fresh memory), so the decode
+// path is free to recycle them into the erasure buffer pool.
 func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map[int][]byte, error) {
 	blocks := make([]map[int][]byte, len(items))
 	for i := range blocks {

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate, runnable without make: vet, build, full test suite, and
+# the race detector over the concurrent data-plane packages.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (data plane)"
+go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/...
+
+echo "OK"
