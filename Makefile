@@ -1,10 +1,17 @@
 GO ?= go
 
-# Packages whose tests exercise the concurrent data plane; the race
-# detector runs over exactly these in `make test-race` and `make check`.
-RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/...
+# Packages whose tests exercise concurrent machinery (data plane,
+# metrics hot paths, quorum lock, full-stack sync); the race detector
+# runs over exactly these in `make test-race` and `make check`.
+RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
+	./internal/obs/... ./internal/qlock/... ./internal/core/...
 
-.PHONY: build vet test test-race bench-erasure bench check
+# Coverage gate: the repo total must not drop below the recorded
+# baseline, and the observability layer is held to a higher bar.
+COVER_BASELINE = 74.9
+COVER_OBS_MIN = 85.0
+
+.PHONY: build vet test test-race bench-erasure bench check cover
 
 build:
 	$(GO) build ./...
@@ -25,6 +32,9 @@ bench-erasure:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+cover:
+	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) ./scripts/cover.sh
 
 # Tier-1 gate: everything a change must pass before merging.
 check: vet build test test-race

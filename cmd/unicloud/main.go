@@ -24,6 +24,7 @@ import (
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudhttp"
 	"unidrive/internal/cloudsim"
+	"unidrive/internal/obs"
 )
 
 func main() {
@@ -45,7 +46,13 @@ func run() error {
 	if *flaky > 0 {
 		backend = cloudsim.NewFlaky(backend, *flaky, *seed)
 	}
+	// Instrument the backend so every API call this server executes
+	// shows up at /debug/unidrive (and /debug/vars via expvar).
+	reg := obs.NewRegistry()
+	backend = obs.Instrument(backend, reg, nil)
 	handler := cloudhttp.NewHandler(backend)
+	handler.EnableDebug(reg)
+	obs.PublishExpvar("unidrive", reg)
 	log.Printf("unicloud %q listening on %s (quota=%d, flaky=%.3f)", *name, *addr, *quota, *flaky)
 	srv := &http.Server{
 		Addr:              *addr,

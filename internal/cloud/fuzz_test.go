@@ -1,0 +1,77 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzValidatePath checks that ValidatePath never panics and that its
+// verdict agrees with the documented rules on every input the fuzzer
+// invents.
+func FuzzValidatePath(f *testing.F) {
+	for _, seed := range []string{
+		"", "/", "a", "a/b", "a/b/c", "/abs", "a//b", "a/", "./a",
+		"a/./b", "a/../b", "..", ".", "meta/v1.bin", "blocks/seg/0",
+		"über/päth", "a b/c d", strings.Repeat("x/", 50) + "y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		err := ValidatePath(path)
+		// Recompute validity from the spec and cross-check.
+		valid := path != "" && !strings.HasPrefix(path, "/")
+		if valid {
+			for _, elem := range strings.Split(path, "/") {
+				if elem == "" || elem == "." || elem == ".." {
+					valid = false
+					break
+				}
+			}
+		}
+		if valid && err != nil {
+			t.Errorf("ValidatePath(%q) = %v, want nil", path, err)
+		}
+		if !valid && err == nil {
+			t.Errorf("ValidatePath(%q) = nil, want error", path)
+		}
+	})
+}
+
+// FuzzSplitJoin checks the split/join round trip: for any valid path,
+// JoinPath(SplitPath(p)) must reproduce p, the base must be a
+// non-empty final element, and the dir (when non-empty) must itself
+// be valid.
+func FuzzSplitJoin(f *testing.F) {
+	for _, seed := range []string{
+		"a", "a/b", "a/b/c", "meta/v1.bin", "blocks/seg-0/17",
+		"dir.with.dots/file", "x", strings.Repeat("d/", 20) + "leaf",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, path string) {
+		dir, base := SplitPath(path)
+		// Invariants that hold for ALL inputs.
+		if dir == "" {
+			if got := JoinPath(base); got != base {
+				t.Errorf("JoinPath(%q) = %q", base, got)
+			}
+		} else if strings.Contains(base, "/") {
+			t.Errorf("SplitPath(%q) base %q contains a slash", path, base)
+		}
+		if ValidatePath(path) != nil {
+			return
+		}
+		// Invariants for valid paths.
+		if base == "" {
+			t.Errorf("SplitPath(%q) returned empty base", path)
+		}
+		if got := JoinPath(dir, base); got != path {
+			t.Errorf("JoinPath(SplitPath(%q)) = %q", path, got)
+		}
+		if dir != "" {
+			if err := ValidatePath(dir); err != nil {
+				t.Errorf("SplitPath(%q) dir %q invalid: %v", path, dir, err)
+			}
+		}
+	})
+}

@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,6 +31,7 @@ import (
 	"strings"
 
 	"unidrive/internal/cloud"
+	"unidrive/internal/obs"
 )
 
 // errorHeader carries the error class from server to client.
@@ -64,6 +66,18 @@ func NewHandler(backend cloud.Interface) *Handler {
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
+}
+
+// EnableDebug mounts live observability endpoints on the handler:
+// GET /debug/unidrive returns reg's Snapshot as JSON, and GET
+// /debug/vars serves the process's expvar page (use obs.PublishExpvar
+// to include reg there too). Call once, before serving; reg is
+// typically the registry whose Instrument wrapper sits around this
+// handler's backend, so the snapshot reflects exactly the API calls
+// this server executed.
+func (h *Handler) EnableDebug(reg *obs.Registry) {
+	h.mux.Handle("/debug/unidrive", reg)
+	h.mux.Handle("/debug/vars", expvar.Handler())
 }
 
 func trimPath(r *http.Request, prefix string) (string, error) {

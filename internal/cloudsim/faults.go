@@ -22,6 +22,11 @@ type Flaky struct {
 	rng *rand.Rand
 	// down simulates a full outage when set.
 	down bool
+	// injTransient / injOutage count the faults actually injected,
+	// per operation, so chaos tests can reconcile observed failures
+	// against them exactly.
+	injTransient CallCounts
+	injOutage    CallCounts
 }
 
 var _ cloud.Interface = (*Flaky)(nil)
@@ -38,16 +43,26 @@ func (f *Flaky) SetDown(down bool) {
 	f.down = down
 }
 
-func (f *Flaky) fail(op string) error {
+func (f *Flaky) fail(op string, bump func(*CallCounts)) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.down {
+		bump(&f.injOutage)
 		return fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrUnavailable)
 	}
 	if f.rng.Float64() < f.prob {
+		bump(&f.injTransient)
 		return fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrTransient)
 	}
 	return nil
+}
+
+// InjectedFaults returns how many transient failures and outage
+// errors this wrapper has injected so far, per operation.
+func (f *Flaky) InjectedFaults() (transient, outage CallCounts) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injTransient, f.injOutage
 }
 
 // Name implements cloud.Interface.
@@ -55,7 +70,7 @@ func (f *Flaky) Name() string { return f.inner.Name() }
 
 // Upload implements cloud.Interface.
 func (f *Flaky) Upload(ctx context.Context, path string, data []byte) error {
-	if err := f.fail("upload"); err != nil {
+	if err := f.fail("upload", func(c *CallCounts) { c.Upload++ }); err != nil {
 		return err
 	}
 	return f.inner.Upload(ctx, path, data)
@@ -63,7 +78,7 @@ func (f *Flaky) Upload(ctx context.Context, path string, data []byte) error {
 
 // Download implements cloud.Interface.
 func (f *Flaky) Download(ctx context.Context, path string) ([]byte, error) {
-	if err := f.fail("download"); err != nil {
+	if err := f.fail("download", func(c *CallCounts) { c.Download++ }); err != nil {
 		return nil, err
 	}
 	return f.inner.Download(ctx, path)
@@ -71,7 +86,7 @@ func (f *Flaky) Download(ctx context.Context, path string) ([]byte, error) {
 
 // CreateDir implements cloud.Interface.
 func (f *Flaky) CreateDir(ctx context.Context, path string) error {
-	if err := f.fail("createdir"); err != nil {
+	if err := f.fail("createdir", func(c *CallCounts) { c.CreateDir++ }); err != nil {
 		return err
 	}
 	return f.inner.CreateDir(ctx, path)
@@ -79,7 +94,7 @@ func (f *Flaky) CreateDir(ctx context.Context, path string) error {
 
 // List implements cloud.Interface.
 func (f *Flaky) List(ctx context.Context, path string) ([]cloud.Entry, error) {
-	if err := f.fail("list"); err != nil {
+	if err := f.fail("list", func(c *CallCounts) { c.List++ }); err != nil {
 		return nil, err
 	}
 	return f.inner.List(ctx, path)
@@ -87,7 +102,7 @@ func (f *Flaky) List(ctx context.Context, path string) ([]cloud.Entry, error) {
 
 // Delete implements cloud.Interface.
 func (f *Flaky) Delete(ctx context.Context, path string) error {
-	if err := f.fail("delete"); err != nil {
+	if err := f.fail("delete", func(c *CallCounts) { c.Delete++ }); err != nil {
 		return err
 	}
 	return f.inner.Delete(ctx, path)

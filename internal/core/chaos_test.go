@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/localfs"
+	"unidrive/internal/obs"
+	"unidrive/internal/vclock"
+)
+
+// chaosDevice builds a client whose every cloud connector injects
+// transient failures with probability prob, with full telemetry and a
+// scaled clock so retry backoffs don't burn wall time. All randomness
+// is seeded, so a failing run reproduces exactly.
+func (r *rig) chaosDevice(t *testing.T, name string, prob float64, seed int64) (*Client, *localfs.Mem, *obs.Registry) {
+	t.Helper()
+	folder := localfs.NewMem()
+	reg := obs.NewRegistry()
+	var clouds []cloud.Interface
+	var flakies []*cloudsim.Flaky
+	for i, st := range r.stores {
+		f := cloudsim.NewFlaky(cloudsim.NewDirect(st), prob, seed*100+int64(i))
+		flakies = append(flakies, f)
+		clouds = append(clouds, f)
+	}
+	r.flaky[name] = flakies
+	c, err := New(clouds, folder, Config{
+		Device:     name,
+		Passphrase: "shared-secret",
+		Theta:      4096,
+		Clock:      vclock.NewScaled(50),
+		LockExpiry: 2 * time.Second,
+		Obs:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, folder, reg
+}
+
+// syncChaos runs SyncOnce, retrying while fault injection defeats a
+// whole pass; each attempt's failures still land in the obs table, so
+// the reconciliation stays exact.
+func syncChaos(t *testing.T, c *Client) SyncReport {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 25; attempt++ {
+		rep, err := c.SyncOnce(ctxT(t))
+		if err == nil {
+			return rep
+		}
+		lastErr = err
+	}
+	t.Fatalf("%s: SyncOnce never succeeded: %v", c.Device(), lastErr)
+	return SyncReport{}
+}
+
+// syncChaosTo syncs until the device's committed metadata reaches at
+// least the given version. A single successful pass is not enough
+// under fault injection: a failed version-file read legitimately
+// reads as "no remote change", so the pass commits nothing and the
+// device catches up on a later pass.
+func syncChaosTo(t *testing.T, c *Client, version int64) SyncReport {
+	t.Helper()
+	for attempt := 0; attempt < 25; attempt++ {
+		rep := syncChaos(t, c)
+		if rep.Version >= version {
+			return rep
+		}
+	}
+	t.Fatalf("%s: never reached version %d", c.Device(), version)
+	return SyncReport{}
+}
+
+// reconcile asserts that the device's observed error outcomes match
+// the faults its Flaky connectors injected, one-for-one per cloud.
+// This only holds because the Instrument wrapper sits directly above
+// the raw connector: one op-table row is one real API request.
+func reconcile(t *testing.T, r *rig, device string, reg *obs.Registry) {
+	t.Helper()
+	s := reg.Snapshot()
+	for i, f := range r.flaky[device] {
+		name := r.stores[i].Name()
+		transient, outage := f.InjectedFaults()
+		if got, want := s.OutcomeTotal(name, obs.Transient), int64(transient.Total()); got != want {
+			t.Errorf("%s/%s: observed %d transient outcomes, injected %d\n%s",
+				device, name, got, want, s)
+		}
+		if got, want := s.OutcomeTotal(name, obs.Unavailable), int64(outage.Total()); got != want {
+			t.Errorf("%s/%s: observed %d unavailable outcomes, injected %d\n%s",
+				device, name, got, want, s)
+		}
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	for _, prob := range []float64{0.05, 0.15, 0.30} {
+		prob := prob
+		t.Run(fmt.Sprintf("p=%.2f", prob), func(t *testing.T) {
+			r := newRig(5)
+			a, fa, regA := r.chaosDevice(t, "alpha", prob, 1000+int64(prob*100))
+			b, fb, regB := r.chaosDevice(t, "beta", prob, 2000+int64(prob*100))
+
+			// Round 1: alpha creates a few multi-segment files.
+			want := map[string]string{
+				"docs/spec.txt": randContent(1, 15_000),
+				"img/logo.bin":  randContent(2, 9_000),
+				"notes.md":      randContent(3, 2_000),
+			}
+			for p, content := range want {
+				writeFile(t, fa, p, content)
+			}
+			rep := syncChaos(t, a)
+			syncChaosTo(t, b, rep.Version)
+
+			// Round 2: alpha mutates one file, adds one, deletes one.
+			want["docs/spec.txt"] = randContent(4, 17_000)
+			writeFile(t, fa, "docs/spec.txt", want["docs/spec.txt"])
+			want["extra.dat"] = randContent(5, 6_000)
+			writeFile(t, fa, "extra.dat", want["extra.dat"])
+			if err := fa.Remove("notes.md"); err != nil {
+				t.Fatal(err)
+			}
+			delete(want, "notes.md")
+			rep = syncChaos(t, a)
+			syncChaosTo(t, b, rep.Version)
+
+			// Integrity: beta's folder is byte-identical to alpha's.
+			for p, content := range want {
+				got, err := fb.ReadFile(p)
+				if err != nil {
+					t.Fatalf("beta missing %s: %v", p, err)
+				}
+				if !bytes.Equal(got, []byte(content)) {
+					t.Errorf("%s differs on beta (%d vs %d bytes)", p, len(got), len(content))
+				}
+			}
+			if _, err := fb.ReadFile("notes.md"); !errors.Is(err, localfs.ErrNotExist) {
+				t.Errorf("deleted notes.md still on beta (err=%v)", err)
+			}
+
+			// Exact fault accounting, both devices.
+			reconcile(t, r, "alpha", regA)
+			reconcile(t, r, "beta", regB)
+
+			// The telemetry also saw the successful traffic.
+			s := regA.Snapshot()
+			if got := s.OutcomeTotal(r.stores[0].Name(), obs.OK); got == 0 {
+				t.Error("no successful calls recorded for c0")
+			}
+			if s.Counter("qlock.acquire.won") == 0 {
+				t.Error("no lock acquisitions recorded despite committed syncs")
+			}
+		})
+	}
+}
+
+// TestChaosFullOutage drives a sync with one cloud fully down, then
+// heals it, and checks both end-to-end integrity and that every
+// unavailable outcome traces back to the outage injection.
+func TestChaosFullOutage(t *testing.T) {
+	r := newRig(5)
+	a, fa, regA := r.chaosDevice(t, "alpha", 0, 31)
+	b, fb, _ := r.chaosDevice(t, "beta", 0, 32)
+
+	writeFile(t, fa, "pre.bin", randContent(10, 8_000))
+	syncChaos(t, a)
+	syncChaos(t, b)
+
+	// c2 goes dark; alpha must still commit (4 live clouds >= quorum
+	// and Kr).
+	r.flaky["alpha"][2].SetDown(true)
+	outageContent := randContent(11, 12_000)
+	writeFile(t, fa, "during-outage.bin", outageContent)
+	outageRep := syncChaos(t, a)
+
+	_, outage := r.flaky["alpha"][2].InjectedFaults()
+	if outage.Total() == 0 {
+		t.Fatal("outage injected no faults — sync never touched the down cloud")
+	}
+	s := regA.Snapshot()
+	name := r.stores[2].Name()
+	if got, want := s.OutcomeTotal(name, obs.Unavailable), int64(outage.Total()); got != want {
+		t.Errorf("observed %d unavailable outcomes on %s, injected %d", got, name, want)
+	}
+	// No other cloud saw an unavailable error.
+	for i, st := range r.stores {
+		if i == 2 {
+			continue
+		}
+		if got := s.OutcomeTotal(st.Name(), obs.Unavailable); got != 0 {
+			t.Errorf("%s reports %d unavailable outcomes without an outage", st.Name(), got)
+		}
+	}
+
+	// Heal; beta (which never saw the outage) picks up the file.
+	r.flaky["alpha"][2].SetDown(false)
+	syncChaosTo(t, b, outageRep.Version)
+	got, err := fb.ReadFile("during-outage.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte(outageContent)) {
+		t.Error("outage-era file corrupt on beta")
+	}
+	reconcile(t, r, "alpha", regA)
+}

@@ -38,6 +38,7 @@ import (
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
 	"unidrive/internal/metacrypt"
+	"unidrive/internal/obs"
 	"unidrive/internal/qlock"
 	"unidrive/internal/sched"
 	"unidrive/internal/transfer"
@@ -74,6 +75,11 @@ type Config struct {
 	Clock vclock.Clock
 	// LockExpiry is the lock-breaking threshold ΔT.
 	LockExpiry time.Duration
+	// Obs, when non-nil, receives the client's full telemetry: every
+	// Web API call of every cloud (per-cloud op table), the transfer
+	// engine's counters, the prober's throughput gauges, and the
+	// quorum lock's protocol counters.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults(n int) {
@@ -179,8 +185,15 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 	// cloud early, so the schedulers have a throughput ranking before
 	// the first data block moves.
 	prober := sched.NewProber(0)
+	prober.SetObs(cfg.Obs)
 	probed := make([]cloud.Interface, len(clouds))
 	for i, c := range clouds {
+		// The instrumenting wrapper sits directly on the raw connector
+		// so one recorded op-table row is one real API request; the
+		// probing wrapper stacks above it.
+		if cfg.Obs != nil {
+			c = obs.Instrument(c, cfg.Obs, cfg.Clock)
+		}
 		probed[i] = transfer.NewProbing(c, prober, cfg.Clock)
 	}
 	cl := &Client{
@@ -194,12 +207,14 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 		engine: transfer.New(probed, prober, transfer.Config{
 			ConnsPerCloud: cfg.ConnsPerCloud,
 			Clock:         cfg.Clock,
+			Obs:           cfg.Obs,
 		}),
 		store: deltasync.New(probed, cipher, deltasync.Config{Device: cfg.Device}),
 		locks: qlock.New(probed, qlock.Config{
 			Device: cfg.Device,
 			Expiry: cfg.LockExpiry,
 			Clock:  cfg.Clock,
+			Obs:    cfg.Obs,
 		}),
 		changes: meta.NewChangedFileList(),
 		last:    meta.NewImage(),
@@ -217,6 +232,10 @@ func (c *Client) Device() string { return c.cfg.Device }
 
 // Engine exposes the transfer engine (prober statistics etc.).
 func (c *Client) Engine() *transfer.Engine { return c.engine }
+
+// Obs returns the client's metrics registry (nil when none was
+// configured).
+func (c *Client) Obs() *obs.Registry { return c.cfg.Obs }
 
 // Image returns a deep copy of the device's current view of the
 // committed metadata.

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"unidrive/internal/cloud"
+	"unidrive/internal/obs"
 	"unidrive/internal/vclock"
 )
 
@@ -73,6 +74,10 @@ type Config struct {
 	Clock vclock.Clock
 	// Seed drives backoff jitter; 0 derives one from the device name.
 	Seed int64
+	// Obs receives the lock protocol's metrics ("qlock.*": acquire
+	// attempts, quorum round-trips, contention backoffs, refreshes,
+	// broken locks). nil disables recording.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -165,14 +170,17 @@ func (m *Manager) Acquire(ctx context.Context) (*Lock, error) {
 	backoff := m.cfg.BackoffBase
 	for attempt := 0; ; attempt++ {
 		if m.cfg.MaxAttempts > 0 && attempt >= m.cfg.MaxAttempts {
+			m.cfg.Obs.Counter("qlock.acquire.exhausted").Inc()
 			return nil, fmt.Errorf("%w after %d attempts", ErrNotAcquired, attempt)
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("qlock: acquire: %w", err)
 		}
+		m.cfg.Obs.Counter("qlock.acquire.attempts").Inc()
 		name := m.lockFileName()
 		won := m.tryOnce(ctx, name)
 		if won >= m.Quorum() {
+			m.cfg.Obs.Counter("qlock.acquire.won").Inc()
 			l := &Lock{mgr: m, valid: true, stopRefresh: make(chan struct{})}
 			l.name = name
 			l.refreshDone.Add(1)
@@ -181,6 +189,7 @@ func (m *Manager) Acquire(ctx context.Context) (*Lock, error) {
 		}
 		// Withdraw (delete all own lock files, including this
 		// attempt's) and back off for a random time (paper §5.2).
+		m.cfg.Obs.Counter("qlock.backoffs").Inc()
 		m.deleteOwnLocks(ctx, "")
 		m.sleepJittered(ctx, backoff)
 		backoff *= 2
@@ -191,7 +200,10 @@ func (m *Manager) Acquire(ctx context.Context) (*Lock, error) {
 }
 
 // tryOnce uploads the lock file everywhere and counts won clouds.
+// Each call is one quorum round-trip: an upload fan-out followed by a
+// list fan-out over all clouds.
 func (m *Manager) tryOnce(ctx context.Context, name string) int {
+	m.cfg.Obs.Counter("qlock.rounds").Inc()
 	path := cloud.JoinPath(m.cfg.LockDir, name)
 	var wg sync.WaitGroup
 	uploaded := make([]bool, len(m.clouds))
@@ -246,9 +258,11 @@ func (m *Manager) checkCloud(ctx context.Context, c cloud.Interface) bool {
 		if now.Sub(m.firstSeenAt(c.Name(), name)) > m.cfg.Expiry {
 			// Obsolete: the holder crashed or lost connectivity.
 			// Break the lock (paper §5.2 lock-breaking).
+			m.cfg.Obs.Counter("qlock.broken_locks").Inc()
 			_ = c.Delete(ctx, cloud.JoinPath(m.cfg.LockDir, name))
 			continue
 		}
+		m.cfg.Obs.Counter("qlock.contended_checks").Inc()
 		ok = false
 	}
 	return ok
@@ -406,7 +420,9 @@ func (l *Lock) refreshOnce(ctx context.Context) {
 	}
 	l.mu.Lock()
 	l.name = newName
+	m.cfg.Obs.Counter("qlock.refreshes").Inc()
 	if count < m.Quorum() {
+		m.cfg.Obs.Counter("qlock.refresh_lost").Inc()
 		l.valid = false
 	}
 	l.mu.Unlock()
@@ -415,7 +431,10 @@ func (l *Lock) refreshOnce(ctx context.Context) {
 // Release stops refreshing and deletes this device's lock files from
 // all clouds. It is idempotent.
 func (l *Lock) Release(ctx context.Context) error {
-	l.stopOnce.Do(func() { close(l.stopRefresh) })
+	l.stopOnce.Do(func() {
+		close(l.stopRefresh)
+		l.mgr.cfg.Obs.Counter("qlock.released").Inc()
+	})
 	l.mu.Lock()
 	l.valid = false
 	l.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"unidrive/internal/obs"
 	"unidrive/internal/stats"
 )
 
@@ -46,6 +47,7 @@ type Prober struct {
 
 	mu    sync.Mutex
 	ewmas map[string]*stats.EWMA
+	obs   *obs.Registry
 }
 
 // NewProber returns a Prober with the given EWMA alpha (0 uses
@@ -61,6 +63,16 @@ func key(cloudName string, dir Direction) string {
 	return cloudName + "|" + dir.String()
 }
 
+// SetObs publishes every smoothed throughput estimate as a gauge
+// ("sched.probe.<cloud>.<dir>_bps") in reg, updated on each
+// observation. Call before the prober is shared with transfer
+// goroutines; nil disables publication.
+func (p *Prober) SetObs(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = reg
+}
+
 // Observe feeds one completed block transfer: size bytes moved in d
 // on one connection to cloudName. Zero or negative durations are
 // ignored (clock anomalies under heavy load).
@@ -68,16 +80,21 @@ func (p *Prober) Observe(cloudName string, dir Direction, size int64, d time.Dur
 	if d <= 0 || size < 0 {
 		return
 	}
-	p.ewma(cloudName, dir).Observe(float64(size) / d.Seconds())
+	e, reg := p.ewma(cloudName, dir)
+	e.Observe(float64(size) / d.Seconds())
+	reg.Gauge("sched.probe." + cloudName + "." + dir.String() + "_bps").Set(e.Value())
 }
 
 // ObserveFailure feeds a failed transfer as a strong negative signal:
 // the throughput sample is zero, pushing the cloud down the ranking.
 func (p *Prober) ObserveFailure(cloudName string, dir Direction) {
-	p.ewma(cloudName, dir).Observe(0)
+	e, reg := p.ewma(cloudName, dir)
+	e.Observe(0)
+	reg.Gauge("sched.probe." + cloudName + "." + dir.String() + "_bps").Set(e.Value())
+	reg.Counter("sched.probe.failures").Inc()
 }
 
-func (p *Prober) ewma(cloudName string, dir Direction) *stats.EWMA {
+func (p *Prober) ewma(cloudName string, dir Direction) (*stats.EWMA, *obs.Registry) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	k := key(cloudName, dir)
@@ -86,7 +103,7 @@ func (p *Prober) ewma(cloudName string, dir Direction) *stats.EWMA {
 		e = stats.NewEWMA(p.alpha)
 		p.ewmas[k] = e
 	}
-	return e
+	return e, p.obs
 }
 
 // Throughput returns the smoothed per-connection throughput in

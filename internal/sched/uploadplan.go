@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"unidrive/internal/obs"
 )
 
 // UploadPlan is the dynamic scheduling state machine for uploading
@@ -44,6 +46,8 @@ type UploadPlan struct {
 	// nextExtra is the next fresh over-provisioned block ID.
 	nextExtra int
 	dead      map[string]bool
+	// obs receives scheduling-decision counters; nil records nothing.
+	obs *obs.Registry
 }
 
 // NewUploadPlan creates a plan for one segment over the given clouds.
@@ -79,6 +83,15 @@ func NewUploadPlan(params Params, clouds []string) (*UploadPlan, error) {
 // Params returns the plan's placement parameters.
 func (p *UploadPlan) Params() Params { return p.params }
 
+// SetObs directs the plan's scheduling-decision counters
+// ("sched.plan.*") into reg; the transfer engine calls it with its
+// own registry at batch start so decisions aggregate across plans.
+func (p *UploadPlan) SetObs(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.obs = reg
+}
+
 // NextBlock returns the next block the cloud should upload and marks
 // it in flight. ok is false when the cloud has no work right now
 // (more may appear later; see CloudDone).
@@ -94,6 +107,7 @@ func (p *UploadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 		p.fairQueue[cloudName] = q[1:]
 		p.inflight[blockID] = cloudName
 		p.countByCloud[cloudName]++
+		p.obs.Counter("sched.plan.normal_assigned").Inc()
 		return blockID, true
 	}
 	// Over-provisioning: extras flow only to clouds that have
@@ -122,6 +136,7 @@ func (p *UploadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 	}
 	p.inflight[blockID] = cloudName
 	p.countByCloud[cloudName]++
+	p.obs.Counter("sched.plan.overprov_assigned").Inc()
 	return blockID, true
 }
 
@@ -150,6 +165,7 @@ func (p *UploadPlan) Fail(cloudName string, blockID int) {
 	}
 	delete(p.inflight, blockID)
 	p.countByCloud[cloudName]--
+	p.obs.Counter("sched.plan.requeued").Inc()
 	if blockID < p.params.NormalBlocks() {
 		p.fairQueue[cloudName] = append(p.fairQueue[cloudName], blockID)
 	} else {
@@ -163,6 +179,9 @@ func (p *UploadPlan) Fail(cloudName string, blockID int) {
 func (p *UploadPlan) MarkDead(cloudName string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if !p.dead[cloudName] {
+		p.obs.Counter("sched.plan.dead_marks").Inc()
+	}
 	p.dead[cloudName] = true
 }
 

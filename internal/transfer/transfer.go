@@ -22,6 +22,7 @@ import (
 
 	"unidrive/internal/cloud"
 	"unidrive/internal/meta"
+	"unidrive/internal/obs"
 	"unidrive/internal/sched"
 	"unidrive/internal/vclock"
 )
@@ -55,6 +56,9 @@ type Config struct {
 	SpeedCutoff float64
 	// Clock paces retry backoff; defaults to the real clock.
 	Clock vclock.Clock
+	// Obs receives the engine's metrics (per-block retries, straggler
+	// drains, occupancy, goodput). nil disables recording.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -140,6 +144,7 @@ type result struct {
 	data      []byte
 	size      int64
 	dur       time.Duration
+	attempts  int
 	err       error
 }
 
@@ -163,6 +168,25 @@ func (e *Engine) newDispatcher() *dispatcher {
 		d.idle[n] = e.cfg.ConnsPerCloud
 	}
 	return d
+}
+
+// take claims an idle connection slot on cloudName and publishes the
+// new occupancy.
+func (d *dispatcher) take(cloudName string) {
+	d.idle[cloudName]--
+	d.active++
+	reg := d.e.cfg.Obs
+	reg.Gauge("transfer.occupancy." + cloudName).Set(float64(d.e.cfg.ConnsPerCloud - d.idle[cloudName]))
+	reg.Gauge("transfer.active").Set(float64(d.active))
+}
+
+// release returns a connection slot and publishes the new occupancy.
+func (d *dispatcher) release(cloudName string) {
+	d.idle[cloudName]++
+	d.active--
+	reg := d.e.cfg.Obs
+	reg.Gauge("transfer.occupancy." + cloudName).Set(float64(d.e.cfg.ConnsPerCloud - d.idle[cloudName]))
+	reg.Gauge("transfer.active").Set(float64(d.active))
 }
 
 // retryPolicy builds the per-block retry policy using the engine's
@@ -220,6 +244,11 @@ func (e *Engine) UploadSegment(ctx context.Context, plan *sched.UploadPlan, segI
 // which precedes the drain.
 func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func() bool) (time.Time, error) {
 	d := e.newDispatcher()
+	for _, it := range items {
+		it.Plan.SetObs(e.cfg.Obs)
+	}
+	batchStart := e.cfg.Clock.Now()
+	var bytesOK int64
 	stopped := false
 	stopAt := e.cfg.Clock.Now()
 	checkStop := func() bool {
@@ -249,8 +278,7 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 					if !ok {
 						continue
 					}
-					d.idle[name]--
-					d.active++
+					d.take(name)
 					go e.uploadBlock(ctx, d.results, i, name, it.SegID, blockID, it.Src)
 					dispatched = true
 					break
@@ -262,21 +290,37 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		}
 	}
 
+	reg := e.cfg.Obs
 	dispatch()
 	for d.active > 0 {
 		r := <-d.results
-		d.active--
-		d.idle[r.cloudName]++
+		d.release(r.cloudName)
+		reg.Counter("transfer.up.retries").Add(int64(r.attempts - 1))
+		if stopped {
+			// The stop condition already held when this block landed:
+			// it was a straggler drained for reliability, not for the
+			// availability instant.
+			reg.Counter("transfer.up.stragglers").Inc()
+		}
 		plan := items[r.item].Plan
 		if r.err != nil {
+			reg.Counter("transfer.up.blocks_failed").Inc()
 			plan.Fail(r.cloudName, r.blockID)
 			e.prober.ObserveFailure(r.cloudName, sched.Up)
 			if d.markOutcome(r.cloudName, r.err) {
+				reg.Counter("transfer.clouds_marked_dead").Inc()
 				for _, it := range items {
 					it.Plan.MarkDead(r.cloudName)
 				}
 			}
 		} else {
+			reg.Counter("transfer.up.blocks").Inc()
+			reg.Counter("transfer.up.bytes").Add(r.size)
+			reg.Histogram("transfer.up.block_seconds").ObserveDuration(r.dur)
+			if r.blockID >= plan.Params().NormalBlocks() {
+				reg.Counter("transfer.up.overprovisioned").Inc()
+			}
+			bytesOK += r.size
 			plan.Complete(r.cloudName, r.blockID)
 			e.prober.Observe(r.cloudName, sched.Up, r.size, r.dur)
 			d.markOutcome(r.cloudName, nil)
@@ -289,6 +333,11 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 	}
 	if !stopped {
 		stopAt = e.cfg.Clock.Now()
+	}
+	if secs := e.cfg.Clock.Now().Sub(batchStart).Seconds(); secs > 0 && bytesOK > 0 {
+		// Goodput: successfully transferred payload over the whole
+		// batch's wall time, the number the paper's Figure 9 plots.
+		reg.Gauge("transfer.up.goodput_bps").Set(float64(bytesOK) / secs)
 	}
 	return stopAt, ctx.Err()
 }
@@ -305,7 +354,9 @@ func (e *Engine) uploadBlock(ctx context.Context, results chan<- result, item in
 	c := e.clouds[cloudName]
 	path := e.BlockPath(segID, blockID)
 	start := e.cfg.Clock.Now()
+	attempts := 0
 	err = cloud.Retry(ctx, e.retryPolicy(), func() error {
+		attempts++
 		return c.Upload(ctx, path, data)
 	})
 	results <- result{
@@ -314,6 +365,7 @@ func (e *Engine) uploadBlock(ctx context.Context, results chan<- result, item in
 		blockID:   blockID,
 		size:      int64(len(data)),
 		dur:       e.cfg.Clock.Now().Sub(start),
+		attempts:  attempts,
 		err:       err,
 	}
 }
@@ -404,8 +456,7 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 					if !ok {
 						continue
 					}
-					d.idle[name]--
-					d.active++
+					d.take(name)
 					go e.downloadBlock(ctx, d.results, i, name, it.SegID, blockID)
 					dispatched = true
 					break
@@ -417,22 +468,31 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		}
 	}
 
+	reg := e.cfg.Obs
+	batchStart := e.cfg.Clock.Now()
+	var bytesOK int64
 	notified := make([]bool, len(items))
 	dispatch()
 	for d.active > 0 {
 		r := <-d.results
-		d.active--
-		d.idle[r.cloudName]++
+		d.release(r.cloudName)
+		reg.Counter("transfer.down.retries").Add(int64(r.attempts - 1))
 		plan := items[r.item].Plan
 		if r.err != nil {
+			reg.Counter("transfer.down.blocks_failed").Inc()
 			plan.Fail(r.cloudName, r.blockID)
 			e.prober.ObserveFailure(r.cloudName, sched.Down)
 			if d.markOutcome(r.cloudName, r.err) {
+				reg.Counter("transfer.clouds_marked_dead").Inc()
 				for _, it := range items {
 					it.Plan.MarkDead(r.cloudName)
 				}
 			}
 		} else {
+			reg.Counter("transfer.down.blocks").Inc()
+			reg.Counter("transfer.down.bytes").Add(r.size)
+			reg.Histogram("transfer.down.block_seconds").ObserveDuration(r.dur)
+			bytesOK += r.size
 			plan.Complete(r.cloudName, r.blockID)
 			blocks[r.item][r.blockID] = r.data
 			e.prober.Observe(r.cloudName, sched.Down, r.size, r.dur)
@@ -447,6 +507,9 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		}
 		dispatch()
 	}
+	if secs := e.cfg.Clock.Now().Sub(batchStart).Seconds(); secs > 0 && bytesOK > 0 {
+		reg.Gauge("transfer.down.goodput_bps").Set(float64(bytesOK) / secs)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -459,8 +522,10 @@ func (e *Engine) downloadBlock(ctx context.Context, results chan<- result, item 
 	c := e.clouds[cloudName]
 	path := e.BlockPath(segID, blockID)
 	start := e.cfg.Clock.Now()
+	attempts := 0
 	var data []byte
 	err := cloud.Retry(ctx, e.retryPolicy(), func() error {
+		attempts++
 		var derr error
 		data, derr = c.Download(ctx, path)
 		return derr
@@ -472,6 +537,7 @@ func (e *Engine) downloadBlock(ctx context.Context, results chan<- result, item 
 		data:      data,
 		size:      int64(len(data)),
 		dur:       e.cfg.Clock.Now().Sub(start),
+		attempts:  attempts,
 		err:       err,
 	}
 }
@@ -485,10 +551,14 @@ func (e *Engine) DeleteBlocks(ctx context.Context, segID string, placement map[i
 	for blockID, cloudName := range placement {
 		c, ok := e.clouds[cloudName]
 		if !ok {
+			e.cfg.Obs.Counter("transfer.delete.unknown_cloud").Inc()
 			continue
 		}
 		if err := c.Delete(ctx, e.BlockPath(segID, blockID)); err == nil {
 			okCount++
+			e.cfg.Obs.Counter("transfer.delete.blocks").Inc()
+		} else {
+			e.cfg.Obs.Counter("transfer.delete.blocks_failed").Inc()
 		}
 	}
 	return okCount

@@ -13,7 +13,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (data plane)"
-go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/...
+echo "== go test -race (data plane, obs, qlock, core)"
+go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
+	./internal/obs/... ./internal/qlock/... ./internal/core/...
 
 echo "OK"

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Coverage gate: one instrumented test run over the whole module,
+# a per-package breakdown, and two hard thresholds —
+#   total  >= COVER_BASELINE (the pre-observability-PR baseline)
+#   obs    >= COVER_OBS_MIN  (the metrics layer is held to a higher bar)
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE="${COVER_BASELINE:-74.9}"
+OBS_MIN="${COVER_OBS_MIN:-85.0}"
+PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
+
+echo "== go test -coverprofile (all packages)"
+go test -coverprofile="$PROFILE" -coverpkg=./... ./... > /dev/null
+
+echo "== per-package coverage"
+go tool cover -func="$PROFILE" | awk '
+	/^total:/ { next }
+	{
+		n = split($1, parts, "/")
+		sub(/:.*/, "", parts[n])          # strip file:line
+		pkg = $1
+		sub("/" parts[n] ":.*", "", pkg)  # strip trailing /file.go:line
+		covered[pkg] += $3 + 0            # go tool cover reports per-func %
+		count[pkg]++
+	}
+	END {
+		for (p in covered)
+			printf "  %-44s %6.1f%%\n", p, covered[p] / count[p]
+	}' | sort
+
+total=$(go tool cover -func="$PROFILE" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
+obs_profile="${PROFILE}.obs"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/obs/' "$PROFILE" || true; } > "$obs_profile"
+obs=$(go tool cover -func="$obs_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
+echo "total coverage: ${total}% (baseline ${BASELINE}%)"
+echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
+
+fail=0
+if awk "BEGIN { exit !($total < $BASELINE) }"; then
+	echo "FAIL: total coverage ${total}% fell below the ${BASELINE}% baseline" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($obs < $OBS_MIN) }"; then
+	echo "FAIL: internal/obs coverage ${obs}% is below the ${OBS_MIN}% bar" >&2
+	fail=1
+fi
+exit $fail
