@@ -27,7 +27,10 @@ import (
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudhttp"
 	"unidrive/internal/core"
+	"unidrive/internal/health"
 	"unidrive/internal/localfs"
+	"unidrive/internal/obs"
+	"unidrive/internal/vclock"
 )
 
 func main() {
@@ -74,6 +77,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	tracker := health.NewDefaultTracker(vclock.Real{}, time.Now().UnixNano(), reg)
 	client, err := core.New(clouds, folder, core.Config{
 		Device:       *device,
 		Passphrase:   *passphrase,
@@ -81,6 +86,8 @@ func run() error {
 		Kr:           *kr,
 		Ks:           *ks,
 		SyncInterval: *interval,
+		Obs:          reg,
+		Health:       tracker,
 	})
 	if err != nil {
 		return err
@@ -125,6 +132,11 @@ func run() error {
 		}
 		if err := syncAndReport(); err != nil {
 			fmt.Fprintln(os.Stderr, "unidrive: sync:", err)
+			for _, c := range clouds {
+				if b := tracker.Breaker(c.Name()); b.State() != health.Closed {
+					fmt.Fprintf(os.Stderr, "unidrive: cloud %s breaker %v\n", c.Name(), b.State())
+				}
+			}
 		}
 	}
 }

@@ -94,6 +94,14 @@ var (
 	// "not every Web API request is always successful"). Retrying the
 	// same request may succeed.
 	ErrTransient = errors.New("cloud: transient request failure")
+	// ErrCircuitOpen reports that the request was rejected locally,
+	// without touching the network, because the cloud's circuit
+	// breaker is open: recent traffic proved the cloud unhealthy and
+	// the health layer is failing fast instead of burning a retry
+	// budget against it. Callers should treat the cloud like an
+	// outage (route around it); the breaker re-admits probes on its
+	// own schedule.
+	ErrCircuitOpen = errors.New("cloud: circuit breaker open")
 )
 
 // IsRetryable reports whether err is worth retrying: transient
@@ -157,6 +165,11 @@ type RetryPolicy struct {
 	// Sleep is called to wait between attempts. It exists so tests
 	// and the simulation substrate control time; nil means no wait.
 	Sleep func(time.Duration)
+	// After, when non-nil, is preferred over Sleep: the backoff waits
+	// on the returned channel OR the retried call's context, so a
+	// cancellation interrupts the wait instead of sleeping it out.
+	// Wire it to the injected clock's After (vclock.Clock.After).
+	After func(time.Duration) <-chan time.Time
 }
 
 // DefaultRetryPolicy mirrors the implementation's behaviour of
@@ -193,8 +206,18 @@ func Retry(ctx context.Context, p RetryPolicy, op func() error) error {
 		if !IsRetryable(err) {
 			return err
 		}
-		if attempt < p.MaxAttempts-1 && p.Sleep != nil && delay > 0 {
-			p.Sleep(delay)
+		if attempt < p.MaxAttempts-1 && delay > 0 {
+			switch {
+			case p.After != nil:
+				select {
+				case <-ctx.Done():
+					// Cancelled mid-backoff: the loop head returns the
+					// last observed error on the next iteration.
+				case <-p.After(delay):
+				}
+			case p.Sleep != nil:
+				p.Sleep(delay)
+			}
 			delay *= 2
 			if p.MaxDelay > 0 && delay > p.MaxDelay {
 				delay = p.MaxDelay

@@ -174,3 +174,72 @@ func TestDefaultRetryPolicy(t *testing.T) {
 		t.Errorf("default delays malformed: base=%v max=%v", p.BaseDelay, p.MaxDelay)
 	}
 }
+
+func TestRetryBackoffInterruptibleByContext(t *testing.T) {
+	// A cancellation arriving DURING the backoff wait must end the
+	// retry loop promptly, not after the full backoff elapses.
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	err := Retry(ctx, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Hour,
+		After:       time.After,
+	}, func() error {
+		calls++
+		// Cancel from the side once the first attempt has failed; the
+		// loop is about to enter an hour-long backoff.
+		go func() {
+			time.Sleep(10 * time.Millisecond)
+			cancel()
+		}()
+		return ErrTransient
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry blocked %v in backoff despite cancellation", elapsed)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (no attempt after cancellation)", calls)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("err = %v, want the last op error", err)
+	}
+}
+
+func TestRetryAfterPreferredOverSleep(t *testing.T) {
+	afterUsed, sleepUsed := 0, 0
+	err := Retry(context.Background(), RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		Sleep:       func(time.Duration) { sleepUsed++ },
+		After: func(time.Duration) <-chan time.Time {
+			afterUsed++
+			ch := make(chan time.Time, 1)
+			ch <- time.Time{}
+			return ch
+		},
+	}, func() error { return ErrTransient })
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("err = %v", err)
+	}
+	if afterUsed != 2 || sleepUsed != 0 {
+		t.Errorf("after=%d sleep=%d, want 2/0", afterUsed, sleepUsed)
+	}
+}
+
+func TestErrCircuitOpenNotRetryable(t *testing.T) {
+	if IsRetryable(ErrCircuitOpen) {
+		t.Fatal("ErrCircuitOpen must not be retried against the same cloud")
+	}
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{MaxAttempts: 5}, func() error {
+		calls++
+		return fmt.Errorf("guard says: %w", ErrCircuitOpen)
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (fail fast)", calls)
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("err = %v, want ErrCircuitOpen", err)
+	}
+}

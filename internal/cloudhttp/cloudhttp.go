@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"unidrive/internal/cloud"
 	"unidrive/internal/obs"
@@ -190,11 +191,19 @@ func (h *Handler) name(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.WriteString(w, h.backend.Name())
 }
 
+// DefaultOpTimeout bounds each API call of a Client unless changed
+// with SetOpTimeout. Real consumer clouds hang connections under load;
+// an unbounded call would stall a whole transfer batch, so the client
+// fails the call as transient and lets the retry/hedging machinery
+// take over.
+const DefaultOpTimeout = 30 * time.Second
+
 // Client is a cloud.Interface speaking the REST API of a Handler.
 type Client struct {
-	name    string
-	baseURL string
-	http    *http.Client
+	name      string
+	baseURL   string
+	http      *http.Client
+	opTimeout time.Duration
 }
 
 var _ cloud.Interface = (*Client)(nil)
@@ -218,11 +227,19 @@ func Dial(ctx context.Context, baseURL string, hc *http.Client) (*Client, error)
 	if err != nil || resp.StatusCode != http.StatusOK || len(name) == 0 {
 		return nil, fmt.Errorf("cloudhttp: %s did not identify itself (status %d)", baseURL, resp.StatusCode)
 	}
-	return &Client{name: string(name), baseURL: baseURL, http: hc}, nil
+	return &Client{name: string(name), baseURL: baseURL, http: hc, opTimeout: DefaultOpTimeout}, nil
 }
 
 // Name implements cloud.Interface.
 func (c *Client) Name() string { return c.name }
+
+// SetOpTimeout changes the per-call deadline (default DefaultOpTimeout).
+// d <= 0 removes the bound. Not safe to call concurrently with API
+// calls; configure the client before handing it to a transfer engine.
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout = d }
+
+// OpTimeout reports the current per-call deadline.
+func (c *Client) OpTimeout() time.Duration { return c.opTimeout }
 
 // mapErr converts an HTTP error response into the sentinel errors.
 func mapErr(resp *http.Response) error {
@@ -245,21 +262,38 @@ func mapErr(resp *http.Response) error {
 	return fmt.Errorf("cloudhttp: status %d: %s: %w", resp.StatusCode, msg, base)
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+// do issues one request under the per-op deadline. The returned
+// cancel func releases the deadline timer and must be called after
+// the response body has been consumed (a deferred call in each API
+// method), never before — cancelling early aborts the body read.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, context.CancelFunc, error) {
+	octx, cancel := ctx, context.CancelFunc(func() {})
+	if c.opTimeout > 0 {
+		octx, cancel = context.WithTimeout(ctx, c.opTimeout)
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	req, err := http.NewRequestWithContext(octx, method, c.baseURL+path, rd)
 	if err != nil {
-		return nil, fmt.Errorf("cloudhttp: %w", err)
+		cancel()
+		return nil, nil, fmt.Errorf("cloudhttp: %w", err)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		// Network-level failure: transient from the caller's view.
-		return nil, fmt.Errorf("cloudhttp: %s %s: %v: %w", method, path, err, cloud.ErrTransient)
+		cancel()
+		if ctx.Err() != nil {
+			// The caller gave up; report that, not a cloud fault — a
+			// circuit breaker must not count cancellations against the
+			// cloud.
+			return nil, nil, fmt.Errorf("cloudhttp: %s %s: %w", method, path, ctx.Err())
+		}
+		// Network-level failure or per-op timeout: transient from the
+		// caller's view.
+		return nil, nil, fmt.Errorf("cloudhttp: %s %s: %v: %w", method, path, err, cloud.ErrTransient)
 	}
-	return resp, nil
+	return resp, cancel, nil
 }
 
 func escape(path string) string {
@@ -278,10 +312,11 @@ func (c *Client) Upload(ctx context.Context, path string, data []byte) error {
 	if data == nil {
 		data = []byte{} // ensure a body so the server reads EOF, not nil
 	}
-	resp, err := c.do(ctx, http.MethodPut, "/files/"+escape(path), data)
+	resp, done, err := c.do(ctx, http.MethodPut, "/files/"+escape(path), data)
 	if err != nil {
 		return err
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		return mapErr(resp)
@@ -294,16 +329,20 @@ func (c *Client) Download(ctx context.Context, path string) ([]byte, error) {
 	if err := cloud.ValidatePath(path); err != nil {
 		return nil, err
 	}
-	resp, err := c.do(ctx, http.MethodGet, "/files/"+escape(path), nil)
+	resp, done, err := c.do(ctx, http.MethodGet, "/files/"+escape(path), nil)
 	if err != nil {
 		return nil, err
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, mapErr(resp)
 	}
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("cloudhttp: reading body: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("cloudhttp: reading body: %v: %w", err, cloud.ErrTransient)
 	}
 	return data, nil
@@ -314,10 +353,11 @@ func (c *Client) CreateDir(ctx context.Context, path string) error {
 	if err := cloud.ValidatePath(path); err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodPost, "/dirs/"+escape(path), nil)
+	resp, done, err := c.do(ctx, http.MethodPost, "/dirs/"+escape(path), nil)
 	if err != nil {
 		return err
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		return mapErr(resp)
@@ -332,16 +372,20 @@ func (c *Client) List(ctx context.Context, path string) ([]cloud.Entry, error) {
 			return nil, err
 		}
 	}
-	resp, err := c.do(ctx, http.MethodGet, "/list/"+escape(path), nil)
+	resp, done, err := c.do(ctx, http.MethodGet, "/list/"+escape(path), nil)
 	if err != nil {
 		return nil, err
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, mapErr(resp)
 	}
 	var entries []cloud.Entry
 	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("cloudhttp: decoding list: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("cloudhttp: decoding list: %v: %w", err, cloud.ErrTransient)
 	}
 	return entries, nil
@@ -352,10 +396,11 @@ func (c *Client) Delete(ctx context.Context, path string) error {
 	if err := cloud.ValidatePath(path); err != nil {
 		return err
 	}
-	resp, err := c.do(ctx, http.MethodDelete, "/files/"+escape(path), nil)
+	resp, done, err := c.do(ctx, http.MethodDelete, "/files/"+escape(path), nil)
 	if err != nil {
 		return err
 	}
+	defer done()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusNoContent {
 		return mapErr(resp)

@@ -7,13 +7,19 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"unidrive/internal/cloud"
+	"unidrive/internal/vclock"
 )
 
-// Flaky wraps a cloud.Interface and makes each call fail transiently
-// with a fixed probability. Tests use it to exercise retry paths and
-// the lock protocol's failure handling without the full netsim model.
+// Flaky wraps a cloud.Interface and injects faults: transient
+// failures with a fixed probability, full outages (switched or
+// scripted per op-index window), per-op latency (fixed plus
+// seeded-random jitter), and a stall mode in which calls hang until
+// their context is cancelled. Tests use it to exercise retry paths,
+// circuit breakers, hedged requests, and the lock protocol's failure
+// handling without the full netsim model.
 type Flaky struct {
 	inner cloud.Interface
 	prob  float64
@@ -22,6 +28,20 @@ type Flaky struct {
 	rng *rand.Rand
 	// down simulates a full outage when set.
 	down bool
+	// stall makes calls hang until ctx cancellation when set.
+	stall bool
+	// latBase/latJitter inject per-op latency: latBase plus a seeded
+	// uniform draw from [0, latJitter).
+	latBase   time.Duration
+	latJitter time.Duration
+	// clock paces injected latency (default: real time).
+	clock vclock.Clock
+	// opIndex numbers the calls seen so far; outages holds scripted
+	// [from, to) windows of op indexes during which the cloud is down.
+	opIndex int
+	outages [][2]int
+	// stalls counts calls that entered the stall state.
+	stalls int
 	// injTransient / injOutage count the faults actually injected,
 	// per operation, so chaos tests can reconcile observed failures
 	// against them exactly.
@@ -43,18 +63,106 @@ func (f *Flaky) SetDown(down bool) {
 	f.down = down
 }
 
-func (f *Flaky) fail(op string, bump func(*CallCounts)) error {
+// SetStall switches stall mode: while set, every call blocks until
+// its context is cancelled and then returns the context's error. This
+// models a hung connection (accepted but never answered) — the
+// failure mode hedged requests exist for.
+func (f *Flaky) SetStall(stall bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if f.down {
+	f.stall = stall
+}
+
+// Stalls reports how many calls entered the stall state.
+func (f *Flaky) Stalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalls
+}
+
+// SetLatency makes every call take base plus a seeded-uniform draw
+// from [0, jitter) before reaching the wrapped cloud (or failing).
+// Zero values disable the respective part.
+func (f *Flaky) SetLatency(base, jitter time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latBase, f.latJitter = base, jitter
+}
+
+// SetClock sets the clock pacing injected latency; nil resets to the
+// real wall clock.
+func (f *Flaky) SetClock(clk vclock.Clock) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clock = clk
+}
+
+// AddOutageWindow scripts a full outage between the from-th call
+// (inclusive) and the to-th call (exclusive), counted across all
+// operations on this wrapper. Windows compose with SetDown; outside
+// every window the cloud behaves normally.
+func (f *Flaky) AddOutageWindow(from, to int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.outages = append(f.outages, [2]int{from, to})
+}
+
+// Ops reports how many calls this wrapper has seen, i.e. the op index
+// the next call will get — tests use it to position outage windows.
+func (f *Flaky) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opIndex
+}
+
+func (f *Flaky) fail(ctx context.Context, op string, bump func(*CallCounts)) error {
+	f.mu.Lock()
+	idx := f.opIndex
+	f.opIndex++
+	down := f.down
+	for _, w := range f.outages {
+		if idx >= w[0] && idx < w[1] {
+			down = true
+			break
+		}
+	}
+	var err error
+	if down {
 		bump(&f.injOutage)
-		return fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrUnavailable)
-	}
-	if f.rng.Float64() < f.prob {
+		err = fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrUnavailable)
+	} else if f.rng.Float64() < f.prob {
 		bump(&f.injTransient)
-		return fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrTransient)
+		err = fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrTransient)
 	}
-	return nil
+	stall := f.stall && !down
+	if stall {
+		f.stalls++
+	}
+	var delay time.Duration
+	if f.latBase > 0 {
+		delay = f.latBase
+	}
+	if f.latJitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.latJitter)))
+	}
+	clk := f.clock
+	f.mu.Unlock()
+
+	if stall {
+		<-ctx.Done()
+		return fmt.Errorf("flaky %s %s stalled: %w", f.inner.Name(), op, ctx.Err())
+	}
+	if delay > 0 {
+		if clk == nil {
+			clk = vclock.Real{}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-clk.After(delay):
+		}
+	}
+	return err
 }
 
 // InjectedFaults returns how many transient failures and outage
@@ -70,7 +178,7 @@ func (f *Flaky) Name() string { return f.inner.Name() }
 
 // Upload implements cloud.Interface.
 func (f *Flaky) Upload(ctx context.Context, path string, data []byte) error {
-	if err := f.fail("upload", func(c *CallCounts) { c.Upload++ }); err != nil {
+	if err := f.fail(ctx, "upload", func(c *CallCounts) { c.Upload++ }); err != nil {
 		return err
 	}
 	return f.inner.Upload(ctx, path, data)
@@ -78,7 +186,7 @@ func (f *Flaky) Upload(ctx context.Context, path string, data []byte) error {
 
 // Download implements cloud.Interface.
 func (f *Flaky) Download(ctx context.Context, path string) ([]byte, error) {
-	if err := f.fail("download", func(c *CallCounts) { c.Download++ }); err != nil {
+	if err := f.fail(ctx, "download", func(c *CallCounts) { c.Download++ }); err != nil {
 		return nil, err
 	}
 	return f.inner.Download(ctx, path)
@@ -86,7 +194,7 @@ func (f *Flaky) Download(ctx context.Context, path string) ([]byte, error) {
 
 // CreateDir implements cloud.Interface.
 func (f *Flaky) CreateDir(ctx context.Context, path string) error {
-	if err := f.fail("createdir", func(c *CallCounts) { c.CreateDir++ }); err != nil {
+	if err := f.fail(ctx, "createdir", func(c *CallCounts) { c.CreateDir++ }); err != nil {
 		return err
 	}
 	return f.inner.CreateDir(ctx, path)
@@ -94,7 +202,7 @@ func (f *Flaky) CreateDir(ctx context.Context, path string) error {
 
 // List implements cloud.Interface.
 func (f *Flaky) List(ctx context.Context, path string) ([]cloud.Entry, error) {
-	if err := f.fail("list", func(c *CallCounts) { c.List++ }); err != nil {
+	if err := f.fail(ctx, "list", func(c *CallCounts) { c.List++ }); err != nil {
 		return nil, err
 	}
 	return f.inner.List(ctx, path)
@@ -102,7 +210,7 @@ func (f *Flaky) List(ctx context.Context, path string) ([]cloud.Entry, error) {
 
 // Delete implements cloud.Interface.
 func (f *Flaky) Delete(ctx context.Context, path string) error {
-	if err := f.fail("delete", func(c *CallCounts) { c.Delete++ }); err != nil {
+	if err := f.fail(ctx, "delete", func(c *CallCounts) { c.Delete++ }); err != nil {
 		return err
 	}
 	return f.inner.Delete(ctx, path)

@@ -1,0 +1,172 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/vclock"
+)
+
+func TestFlakyOutageWindow(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	// Down between op #2 (inclusive) and op #4 (exclusive): ops 0, 1
+	// succeed, 2, 3 fail with ErrUnavailable, 4 succeeds again.
+	f.AddOutageWindow(2, 4)
+	ctx := context.Background()
+	wantDown := []bool{false, false, true, true, false}
+	for i, down := range wantDown {
+		if got := f.Ops(); got != i {
+			t.Fatalf("Ops() = %d before op %d", got, i)
+		}
+		err := f.Upload(ctx, "f", []byte("x"))
+		if down && !errors.Is(err, cloud.ErrUnavailable) {
+			t.Fatalf("op %d: err = %v, want ErrUnavailable", i, err)
+		}
+		if !down && err != nil {
+			t.Fatalf("op %d: err = %v, want nil", i, err)
+		}
+	}
+	_, outage := f.InjectedFaults()
+	if outage.Upload != 2 || outage.Total() != 2 {
+		t.Errorf("injected outage counts = %+v, want 2 uploads", outage)
+	}
+}
+
+func TestFlakyStallHangsUntilCancel(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	f.SetStall(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := f.Download(ctx, "f")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled call returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stalled call err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled call did not return after cancellation")
+	}
+	if f.Stalls() != 1 {
+		t.Errorf("Stalls() = %d, want 1", f.Stalls())
+	}
+	// Stall off again: calls flow normally.
+	f.SetStall(false)
+	if err := f.Upload(context.Background(), "f", []byte("x")); err != nil {
+		t.Fatalf("post-stall upload: %v", err)
+	}
+}
+
+func TestFlakyStallDoesNotMaskOutage(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	f.SetStall(true)
+	f.SetDown(true)
+	// An outage answers immediately (connection refused), it does not
+	// hang — stall only applies to calls that would otherwise proceed.
+	err := f.Upload(context.Background(), "f", []byte("x"))
+	if !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if f.Stalls() != 0 {
+		t.Errorf("Stalls() = %d, want 0", f.Stalls())
+	}
+}
+
+func TestFlakyLatencyInjection(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	clk := vclock.NewManual(time.Unix(0, 0))
+	f.SetClock(clk)
+	f.SetLatency(time.Second, 0)
+	done := make(chan error, 1)
+	go func() { done <- f.Upload(context.Background(), "f", []byte("x")) }()
+	// The call must be parked on the manual clock, not completed.
+	for i := 0; clk.PendingWaiters() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("latency-injected call returned before clock advance: %v", err)
+	default:
+	}
+	clk.Advance(time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("upload after latency: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call never completed after clock advance")
+	}
+}
+
+func TestFlakyLatencyJitterSeeded(t *testing.T) {
+	// Same seed -> same jitter sequence. The jitter draw consumes the
+	// shared RNG, so two identically seeded wrappers stay in lockstep.
+	delays := func(seed int64) []time.Duration {
+		f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, seed)
+		clk := vclock.NewManual(time.Unix(0, 0))
+		f.SetClock(clk)
+		f.SetLatency(0, 50*time.Millisecond)
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			done := make(chan struct{})
+			go func() {
+				_ = f.Upload(context.Background(), "f", []byte("x"))
+				close(done)
+			}()
+			var d time.Duration
+			for {
+				select {
+				case <-done:
+				default:
+					if clk.PendingWaiters() == 0 {
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+					clk.Advance(time.Millisecond)
+					d += time.Millisecond
+					continue
+				}
+				break
+			}
+			out = append(out, d)
+		}
+		return out
+	}
+	a, b := delays(42), delays(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestFlakyLatencyInterruptibleByContext(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	clk := vclock.NewManual(time.Unix(0, 0))
+	f.SetClock(clk)
+	f.SetLatency(time.Hour, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Upload(ctx, "f", []byte("x")) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("latency wait not interrupted by cancellation")
+	}
+}

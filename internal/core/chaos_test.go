@@ -9,6 +9,7 @@ import (
 
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudsim"
+	"unidrive/internal/health"
 	"unidrive/internal/localfs"
 	"unidrive/internal/obs"
 	"unidrive/internal/vclock"
@@ -159,6 +160,149 @@ func TestChaosSoak(t *testing.T) {
 			}
 		})
 	}
+}
+
+// resilientDevice is chaosDevice plus the breaker stack: a health
+// tracker shared by all of the device's clouds, with a short (scaled)
+// cooldown so open breakers re-probe within the test's wall time.
+func (r *rig) resilientDevice(t *testing.T, name string, prob float64, seed int64) (*Client, *localfs.Mem, *obs.Registry, *health.Tracker) {
+	t.Helper()
+	folder := localfs.NewMem()
+	reg := obs.NewRegistry()
+	clk := vclock.NewScaled(50)
+	tracker := health.NewTracker(health.Config{
+		TripOnUnavailable: true,
+		OpenTimeout:       500 * time.Millisecond,
+		Clock:             clk,
+		Seed:              seed,
+		Obs:               reg,
+	})
+	var clouds []cloud.Interface
+	var flakies []*cloudsim.Flaky
+	for i, st := range r.stores {
+		f := cloudsim.NewFlaky(cloudsim.NewDirect(st), prob, seed*100+int64(i))
+		flakies = append(flakies, f)
+		clouds = append(clouds, f)
+	}
+	r.flaky[name] = flakies
+	c, err := New(clouds, folder, Config{
+		Device:     name,
+		Passphrase: "shared-secret",
+		Theta:      4096,
+		Clock:      clk,
+		LockExpiry: 2 * time.Second,
+		Obs:        reg,
+		Health:     tracker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, folder, reg, tracker
+}
+
+// breakerTransitions reads the per-cloud transition counters.
+func breakerTransitions(reg *obs.Registry, cloudName string) (opened, halfOpened, closed int64) {
+	return reg.Counter("health.breaker." + cloudName + ".opened").Value(),
+		reg.Counter("health.breaker." + cloudName + ".half_opened").Value(),
+		reg.Counter("health.breaker." + cloudName + ".closed").Value()
+}
+
+// TestChaosBreakerFailover is the resilience soak: one cloud dies
+// mid-upload on the writing device (and stays dead), another dies
+// mid-download on the reading device (and heals). Both devices must
+// converge byte-identically, the breaker transition counters must
+// tell exactly that story, and the fault accounting must stay exact —
+// breaker rejections are local and never inflate the op table.
+func TestChaosBreakerFailover(t *testing.T) {
+	r := newRig(5)
+	a, fa, regA, trkA := r.resilientDevice(t, "alpha", 0, 61)
+	b, fb, regB, trkB := r.resilientDevice(t, "beta", 0, 62)
+
+	// Pre-round with all clouds healthy, so both devices are warm.
+	want := map[string]string{"pre.bin": randContent(20, 8_000)}
+	writeFile(t, fa, "pre.bin", want["pre.bin"])
+	preRep := syncChaos(t, a)
+	syncChaosTo(t, b, preRep.Version)
+
+	// c1 dies on alpha a few requests into the next sync — mid-upload,
+	// not before it — and never comes back.
+	deadUp := r.flaky["alpha"][1]
+	deadUp.AddOutageWindow(deadUp.Ops()+3, 1<<30)
+	want["big/archive.bin"] = randContent(21, 24_000)
+	writeFile(t, fa, "big/archive.bin", want["big/archive.bin"])
+	upRep := syncChaos(t, a)
+
+	if _, outage := deadUp.InjectedFaults(); outage.Total() == 0 {
+		t.Fatal("upload sync never hit the dying cloud — outage window missed the transfer")
+	}
+	if st := trkA.Breaker("c1").State(); st != health.Open {
+		t.Errorf("alpha breaker for c1 = %v, want Open", st)
+	}
+	if opened, _, closed := breakerTransitions(regA, "c1"); opened < 1 || closed != 0 {
+		t.Errorf("alpha c1 transitions: opened=%d closed=%d, want opened>=1 closed=0", opened, closed)
+	}
+
+	// c3 dies on beta a few requests into its catch-up sync — mid-
+	// download — and recovers after a short window.
+	deadDown := r.flaky["beta"][3]
+	deadDown.AddOutageWindow(deadDown.Ops()+3, deadDown.Ops()+10)
+	syncChaosTo(t, b, upRep.Version)
+
+	// Byte-identical convergence despite both fault injections.
+	for p, content := range want {
+		got, err := fb.ReadFile(p)
+		if err != nil {
+			t.Fatalf("beta missing %s: %v", p, err)
+		}
+		if !bytes.Equal(got, []byte(content)) {
+			t.Errorf("%s differs on beta (%d vs %d bytes)", p, len(got), len(content))
+		}
+	}
+
+	if _, outage := deadDown.InjectedFaults(); outage.Total() == 0 {
+		t.Fatal("download sync never hit the dying cloud — outage window missed the transfer")
+	}
+	if opened, _, _ := breakerTransitions(regB, "c3"); opened < 1 {
+		t.Fatalf("beta c3 never tripped: opened=%d", opened)
+	}
+
+	// Drive beta until its breaker re-probes c3 (the outage window is
+	// over, so probes succeed) and closes again. Each committing sync
+	// fans metadata out to every cloud, giving the half-open breaker
+	// its probe; the real sleeps let the (scaled) cooldown elapse.
+	recovered := false
+	for i := 0; i < 300 && !recovered; i++ {
+		time.Sleep(5 * time.Millisecond)
+		writeFile(t, fb, "beta-note.txt", randContent(40+int64(i), 200))
+		syncChaos(t, b)
+		recovered = trkB.Breaker("c3").State() == health.Closed
+	}
+	if !recovered {
+		t.Fatal("beta breaker for c3 never closed after the outage window ended")
+	}
+	// The transition counters reconcile: every open was followed by a
+	// half-open re-probe, and the heal registered as a close.
+	if opened, halfOpened, closed := breakerTransitions(regB, "c3"); opened < 1 || halfOpened < opened || closed < 1 {
+		t.Errorf("beta c3 transitions: opened=%d half_opened=%d closed=%d, want opened>=1, half_opened>=opened, closed>=1",
+			opened, halfOpened, closed)
+	}
+
+	// Hedge accounting is internally consistent on both devices: every
+	// hedge resolves as a win or a loss, and cancellations never exceed
+	// the hedges issued.
+	for _, reg := range []*obs.Registry{regA, regB} {
+		hedges := reg.Counter("transfer.down.hedges").Value()
+		wins := reg.Counter("transfer.down.hedge_wins").Value()
+		losses := reg.Counter("transfer.down.hedge_losses").Value()
+		cancelled := reg.Counter("transfer.down.hedge_cancelled").Value()
+		if wins+losses > hedges || cancelled > hedges {
+			t.Errorf("hedge accounting: hedges=%d wins=%d losses=%d cancelled=%d", hedges, wins, losses, cancelled)
+		}
+	}
+
+	// Fault accounting stays exact with breakers in the stack.
+	reconcile(t, r, "alpha", regA)
+	reconcile(t, r, "beta", regB)
 }
 
 // TestChaosFullOutage drives a sync with one cloud fully down, then

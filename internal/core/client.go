@@ -35,6 +35,7 @@ import (
 	"unidrive/internal/cloud"
 	"unidrive/internal/deltasync"
 	"unidrive/internal/erasure"
+	"unidrive/internal/health"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
 	"unidrive/internal/metacrypt"
@@ -80,6 +81,13 @@ type Config struct {
 	// engine's counters, the prober's throughput gauges, and the
 	// quorum lock's protocol counters.
 	Obs *obs.Registry
+	// Health, when non-nil, adds per-cloud circuit breakers: every
+	// cloud is wrapped in a breaker guard, the transfer engine fails
+	// blocks over to healthy clouds when a breaker opens (and hedges
+	// straggling downloads), and the quorum lock skips open-breaker
+	// clouds. Build one with health.NewDefaultTracker, sharing the
+	// same Clock and Obs as this config.
+	Health *health.Tracker
 }
 
 func (c *Config) fillDefaults(n int) {
@@ -190,9 +198,14 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 	for i, c := range clouds {
 		// The instrumenting wrapper sits directly on the raw connector
 		// so one recorded op-table row is one real API request; the
-		// probing wrapper stacks above it.
+		// breaker guard stacks above it (a rejected call is not an API
+		// request and must not appear in the op table), the probing
+		// wrapper on top.
 		if cfg.Obs != nil {
 			c = obs.Instrument(c, cfg.Obs, cfg.Clock)
+		}
+		if cfg.Health != nil {
+			c = cfg.Health.Wrap(c)
 		}
 		probed[i] = transfer.NewProbing(c, prober, cfg.Clock)
 	}
@@ -208,6 +221,7 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 			ConnsPerCloud: cfg.ConnsPerCloud,
 			Clock:         cfg.Clock,
 			Obs:           cfg.Obs,
+			Health:        cfg.Health,
 		}),
 		store: deltasync.New(probed, cipher, deltasync.Config{Device: cfg.Device}),
 		locks: qlock.New(probed, qlock.Config{
@@ -215,6 +229,7 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 			Expiry: cfg.LockExpiry,
 			Clock:  cfg.Clock,
 			Obs:    cfg.Obs,
+			Health: healthGate(cfg.Health),
 		}),
 		changes: meta.NewChangedFileList(),
 		last:    meta.NewImage(),
@@ -236,6 +251,20 @@ func (c *Client) Engine() *transfer.Engine { return c.engine }
 // Obs returns the client's metrics registry (nil when none was
 // configured).
 func (c *Client) Obs() *obs.Registry { return c.cfg.Obs }
+
+// Health returns the client's breaker tracker (nil when none was
+// configured).
+func (c *Client) Health() *health.Tracker { return c.cfg.Health }
+
+// healthGate adapts an optional tracker to qlock's Health interface;
+// a plain nil-tracker assignment would produce a non-nil interface
+// holding a nil pointer.
+func healthGate(t *health.Tracker) qlock.Health {
+	if t == nil {
+		return nil
+	}
+	return t
+}
 
 // Image returns a deep copy of the device's current view of the
 // committed metadata.

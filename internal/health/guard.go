@@ -1,0 +1,89 @@
+package health
+
+import (
+	"context"
+	"fmt"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/vclock"
+)
+
+// Guard is a cloud.Interface wrapper that gates every Web API call on
+// the cloud's circuit breaker and feeds the outcome (and latency)
+// back into it. While the breaker is open, calls fail fast with an
+// error wrapping cloud.ErrCircuitOpen — no network traffic, no retry
+// budget spent. Rejected calls are never reported to the breaker (the
+// breaker only learns from real cloud outcomes) and, because the
+// Guard sits above the instrumentation wrapper, they produce no rows
+// in the obs per-cloud op table either.
+type Guard struct {
+	inner   cloud.Interface
+	breaker *Breaker
+	clock   vclock.Clock
+}
+
+var _ cloud.Interface = (*Guard)(nil)
+
+// Name returns the wrapped provider's identifier.
+func (g *Guard) Name() string { return g.inner.Name() }
+
+// Unwrap returns the wrapped connector, for tests and debugging.
+func (g *Guard) Unwrap() cloud.Interface { return g.inner }
+
+// State exposes the underlying breaker's current state.
+func (g *Guard) State() State { return g.breaker.State() }
+
+// call runs op through the breaker: reject fast when not admitted,
+// otherwise time the call and report its outcome.
+func (g *Guard) call(opName string, op func() error) error {
+	if !g.breaker.Allow() {
+		return fmt.Errorf("health: %s %s rejected: %w", g.inner.Name(), opName, cloud.ErrCircuitOpen)
+	}
+	start := g.clock.Now()
+	err := op()
+	g.breaker.Report(err, g.clock.Now().Sub(start))
+	return err
+}
+
+// Upload implements cloud.Interface.
+func (g *Guard) Upload(ctx context.Context, path string, data []byte) error {
+	return g.call("upload", func() error { return g.inner.Upload(ctx, path, data) })
+}
+
+// Download implements cloud.Interface.
+func (g *Guard) Download(ctx context.Context, path string) ([]byte, error) {
+	var data []byte
+	err := g.call("download", func() error {
+		var opErr error
+		data, opErr = g.inner.Download(ctx, path)
+		return opErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// CreateDir implements cloud.Interface.
+func (g *Guard) CreateDir(ctx context.Context, path string) error {
+	return g.call("createdir", func() error { return g.inner.CreateDir(ctx, path) })
+}
+
+// List implements cloud.Interface.
+func (g *Guard) List(ctx context.Context, path string) ([]cloud.Entry, error) {
+	var entries []cloud.Entry
+	err := g.call("list", func() error {
+		var opErr error
+		entries, opErr = g.inner.List(ctx, path)
+		return opErr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Delete implements cloud.Interface.
+func (g *Guard) Delete(ctx context.Context, path string) error {
+	return g.call("delete", func() error { return g.inner.Delete(ctx, path) })
+}

@@ -46,6 +46,17 @@ const DefaultLockDir = ".unidrive/locks"
 // configured attempts.
 var ErrNotAcquired = errors.New("qlock: lock not acquired")
 
+// Health gates which clouds the lock protocol talks to; a
+// health.Tracker satisfies it. A cloud whose breaker is open cannot
+// answer within its deadline anyway, so the protocol skips it rather
+// than letting a single dead provider slow every quorum round to the
+// timeout. The quorum threshold itself never shrinks — it stays a
+// strict majority of ALL configured clouds, so mutual exclusion is
+// preserved no matter what the local breaker state claims.
+type Health interface {
+	Admits(cloudName string) bool
+}
+
 // ErrLost reports that a held lock is no longer valid (refresh could
 // not maintain the quorum).
 var ErrLost = errors.New("qlock: lock lost")
@@ -78,6 +89,10 @@ type Config struct {
 	// attempts, quorum round-trips, contention backoffs, refreshes,
 	// broken locks). nil disables recording.
 	Obs *obs.Registry
+	// Health, when set, lets the protocol skip clouds whose circuit
+	// breaker is open (degraded rounds). nil means all clouds are
+	// always addressed.
+	Health Health
 }
 
 func (c *Config) fillDefaults() {
@@ -199,15 +214,60 @@ func (m *Manager) Acquire(ctx context.Context) (*Lock, error) {
 	}
 }
 
+// admits reports whether the health gate (if any) lets the protocol
+// address the named cloud right now.
+func (m *Manager) admits(name string) bool {
+	return m.cfg.Health == nil || m.cfg.Health.Admits(name)
+}
+
+// admitted returns which clouds the current round may address and
+// publishes the count. The callers treat a non-admitted cloud exactly
+// like one whose upload failed: it contributes nothing to the quorum.
+func (m *Manager) admitted() []bool {
+	ok := make([]bool, len(m.clouds))
+	n := 0
+	for i, c := range m.clouds {
+		if m.admits(c.Name()) {
+			ok[i] = true
+			n++
+		}
+	}
+	m.cfg.Obs.Gauge("qlock.admitted_clouds").Set(float64(n))
+	if n < len(m.clouds) {
+		m.cfg.Obs.Counter("qlock.degraded_rounds").Inc()
+	}
+	if n < m.Quorum() {
+		// Not enough live clouds to possibly win: the round is lost
+		// before any request goes out. Observable so operators can
+		// tell "lock contended" from "too many providers down".
+		m.cfg.Obs.Counter("qlock.quorum_blocked").Inc()
+	}
+	return ok
+}
+
 // tryOnce uploads the lock file everywhere and counts won clouds.
 // Each call is one quorum round-trip: an upload fan-out followed by a
-// list fan-out over all clouds.
+// list fan-out over all admitted clouds.
 func (m *Manager) tryOnce(ctx context.Context, name string) int {
 	m.cfg.Obs.Counter("qlock.rounds").Inc()
+	admitted := m.admitted()
+	n := 0
+	for _, ok := range admitted {
+		if ok {
+			n++
+		}
+	}
+	if n < m.Quorum() {
+		// Too few live clouds to possibly win; send nothing.
+		return 0
+	}
 	path := cloud.JoinPath(m.cfg.LockDir, name)
 	var wg sync.WaitGroup
 	uploaded := make([]bool, len(m.clouds))
 	for i, c := range m.clouds {
+		if !admitted[i] {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, c cloud.Interface) {
 			defer wg.Done()
@@ -395,9 +455,15 @@ func (l *Lock) refreshOnce(ctx context.Context) {
 
 	newPath := cloud.JoinPath(m.cfg.LockDir, newName)
 	oldPath := cloud.JoinPath(m.cfg.LockDir, oldName)
+	admitted := m.admitted()
 	var wg sync.WaitGroup
 	held := make([]bool, len(m.clouds))
 	for i, c := range m.clouds {
+		if !admitted[i] {
+			// A skipped cloud cannot renew; it simply does not count
+			// toward the refresh quorum, same as a failed upload.
+			continue
+		}
 		wg.Add(1)
 		go func(i int, c cloud.Interface) {
 			defer wg.Done()

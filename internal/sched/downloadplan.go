@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -23,9 +24,11 @@ type DownloadPlan struct {
 	sources map[int][]string
 	// byCloud maps cloud -> block IDs it can still supply.
 	byCloud map[string][]int
-	// done and inflight track fetched / running blocks.
+	// done tracks fetched blocks; inflight maps a running block to the
+	// set of clouds currently fetching it — more than one when the
+	// block has been hedged onto a spare cloud.
 	done     map[int]bool
-	inflight map[int]string
+	inflight map[int]map[string]bool
 	dead     map[string]bool
 }
 
@@ -43,7 +46,7 @@ func NewDownloadPlan(k int, locations map[int][]string) (*DownloadPlan, error) {
 		sources:  make(map[int][]string, len(locations)),
 		byCloud:  make(map[string][]int),
 		done:     make(map[int]bool),
-		inflight: make(map[int]string),
+		inflight: make(map[int]map[string]bool),
 		dead:     make(map[string]bool),
 	}
 	for b, clouds := range locations {
@@ -91,7 +94,7 @@ func (p *DownloadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 		if p.done[b] {
 			continue
 		}
-		if _, running := p.inflight[b]; running {
+		if len(p.inflight[b]) > 0 {
 			continue
 		}
 		if n := p.liveSourcesLocked(b); n < bestSources {
@@ -101,8 +104,54 @@ func (p *DownloadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 	if best < 0 {
 		return 0, false
 	}
-	p.inflight[best] = cloudName
+	p.inflight[best] = map[string]bool{cloudName: true}
 	return best, true
+}
+
+// Hedge registers a duplicate fetch of an in-flight block by the
+// spare cloud. It refuses (returns false) when the block is not in
+// flight, already done, the spare is dead, does not hold the block,
+// or is already fetching it — so at most one extra request per
+// (block, cloud) pair ever exists.
+func (p *DownloadPlan) Hedge(blockID int, spare string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	running := p.inflight[blockID]
+	if len(running) == 0 || p.done[blockID] || p.dead[spare] || running[spare] {
+		return false
+	}
+	holds := false
+	for _, c := range p.sources[blockID] {
+		if c == spare {
+			holds = true
+			break
+		}
+	}
+	if !holds {
+		return false
+	}
+	running[spare] = true
+	return true
+}
+
+// HedgeCandidates returns the live clouds that hold the block and are
+// not already fetching it, sorted for determinism. Empty when the
+// block is done or not in flight.
+func (p *DownloadPlan) HedgeCandidates(blockID int) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	running := p.inflight[blockID]
+	if len(running) == 0 || p.done[blockID] {
+		return nil
+	}
+	var out []string
+	for _, c := range p.sources[blockID] {
+		if !p.dead[c] && !running[c] {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func (p *DownloadPlan) liveSourcesLocked(b int) int {
@@ -115,26 +164,33 @@ func (p *DownloadPlan) liveSourcesLocked(b int) int {
 	return n
 }
 
-// Complete records a successful block download.
+// Complete records a successful block download by any of the clouds
+// currently fetching it (the primary or a hedge). The whole in-flight
+// set is cleared: the engine cancels and absorbs the losing requests
+// itself without further plan calls.
 func (p *DownloadPlan) Complete(cloudName string, blockID int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.inflight[blockID] != cloudName {
+	if !p.inflight[blockID][cloudName] {
 		panic(fmt.Sprintf("sched: Complete(%s, %d) without matching NextBlock", cloudName, blockID))
 	}
 	delete(p.inflight, blockID)
 	p.done[blockID] = true
 }
 
-// Fail records a failed download; the block becomes assignable again
-// (from this or another holding cloud).
+// Fail records a failed download attempt by one cloud; the block
+// becomes assignable again once no other cloud is still fetching it
+// (a hedged duplicate may still be running).
 func (p *DownloadPlan) Fail(cloudName string, blockID int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.inflight[blockID] != cloudName {
+	if !p.inflight[blockID][cloudName] {
 		panic(fmt.Sprintf("sched: Fail(%s, %d) without matching NextBlock", cloudName, blockID))
 	}
-	delete(p.inflight, blockID)
+	delete(p.inflight[blockID], cloudName)
+	if len(p.inflight[blockID]) == 0 {
+		delete(p.inflight, blockID)
+	}
 	// Remove this cloud as a source for the block: it just proved
 	// unable to supply it.
 	kept := p.byCloud[cloudName][:0]
@@ -181,7 +237,7 @@ func (p *DownloadPlan) Stuck() bool {
 		if p.done[b] {
 			continue
 		}
-		if _, running := p.inflight[b]; running {
+		if len(p.inflight[b]) > 0 {
 			continue
 		}
 		if p.liveSourcesLocked(b) > 0 {
@@ -205,7 +261,7 @@ func (p *DownloadPlan) HasWork(cloudName string) bool {
 		if p.done[b] {
 			continue
 		}
-		if _, running := p.inflight[b]; running {
+		if len(p.inflight[b]) > 0 {
 			continue
 		}
 		return true

@@ -193,3 +193,95 @@ func TestDownloadCompleteMismatchPanics(t *testing.T) {
 	}()
 	plan.Complete("a", 4)
 }
+
+func TestHedgeDuplicateFetch(t *testing.T) {
+	plan := threeOfSix(t)
+	// Block 5 is held by a and c. Primary fetch from a, hedge onto c.
+	var b5taken bool
+	for {
+		b, ok := plan.NextBlock("a")
+		if !ok {
+			break
+		}
+		if b == 5 {
+			b5taken = true
+		}
+	}
+	if !b5taken {
+		t.Fatal("cloud a never took block 5")
+	}
+	if plan.Hedge(5, "a") {
+		t.Error("hedging onto the cloud already fetching must be refused")
+	}
+	if plan.Hedge(5, "b") {
+		t.Error("hedging onto a cloud that does not hold the block must be refused")
+	}
+	if cands := plan.HedgeCandidates(5); len(cands) != 1 || cands[0] != "c" {
+		t.Fatalf("HedgeCandidates(5) = %v, want [c]", cands)
+	}
+	if !plan.Hedge(5, "c") {
+		t.Fatal("valid hedge refused")
+	}
+	if plan.Hedge(5, "c") {
+		t.Error("second hedge by the same cloud must be refused")
+	}
+	if cands := plan.HedgeCandidates(5); len(cands) != 0 {
+		t.Fatalf("HedgeCandidates after hedge = %v, want none", cands)
+	}
+
+	// The hedge (c) wins: Complete must accept it and clear the flight.
+	plan.Complete("c", 5)
+	if plan.Hedge(5, "c") {
+		t.Error("hedging a completed block must be refused")
+	}
+	// The loser (a) is cancelled by the engine without plan calls; the
+	// block stays done and is never re-handed out.
+	if _, ok := plan.NextBlock("c"); ok {
+		t.Error("done/hedged state leaked assignable work for c")
+	}
+}
+
+func TestHedgePrimaryFailureKeepsHedgeRunning(t *testing.T) {
+	plan := threeOfSix(t)
+	// Take block 5 on a, hedge on c, then the primary fails: the block
+	// must remain in flight (the hedge is still fetching) and not be
+	// reassignable until the hedge also resolves.
+	for {
+		if _, ok := plan.NextBlock("a"); !ok {
+			break
+		}
+	}
+	if !plan.Hedge(5, "c") {
+		t.Fatal("hedge refused")
+	}
+	plan.Fail("a", 5)
+	plan.mu.Lock()
+	still := len(plan.inflight[5])
+	plan.mu.Unlock()
+	if still != 1 {
+		t.Errorf("block 5 has %d in-flight fetchers after primary failure, want 1 (the hedge)", still)
+	}
+	plan.Complete("c", 5)
+	if !plan.done[5] {
+		t.Error("hedge completion not recorded")
+	}
+}
+
+func TestHedgeRefusedForIdleOrDeadTargets(t *testing.T) {
+	plan := threeOfSix(t)
+	if plan.Hedge(5, "c") {
+		t.Error("hedging a block that is not in flight must be refused")
+	}
+	for {
+		if _, ok := plan.NextBlock("a"); !ok {
+			break
+		}
+	}
+	plan.MarkDead("c")
+	if plan.Hedge(5, "c") {
+		t.Error("hedging onto a dead cloud must be refused")
+	}
+	if cands := plan.HedgeCandidates(5); len(cands) != 0 {
+		t.Fatalf("HedgeCandidates with dead spare = %v, want none", cands)
+	}
+}

@@ -124,6 +124,13 @@ func (p *UploadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 	if p.countByCloud[cloudName] >= p.params.MaxPerCloud() {
 		return 0, false
 	}
+	// Reliability beats utilization: normal blocks owed by dead clouds
+	// will need live capacity when they fail over, and an extra granted
+	// now would consume exactly such a slot. Hold enough spare slots
+	// back for every orphaned normal block.
+	if orphans := p.orphanedLocked(); orphans > 0 && p.spareLocked()-1 < orphans {
+		return 0, false
+	}
 	if len(p.extraFree) > 0 {
 		blockID = p.extraFree[0]
 		p.extraFree = p.extraFree[1:]
@@ -156,7 +163,10 @@ func (p *UploadPlan) Complete(cloudName string, blockID int) {
 
 // Fail records a failed upload. A normal-share block is requeued to
 // its owning cloud (it will be retried unless the cloud is marked
-// dead); an over-provisioned block ID returns to the free list.
+// dead); an over-provisioned block ID returns to the free list. When
+// the failing cloud is already dead, its normal block is handed to a
+// live cloud with spare capacity instead, so in-flight work that
+// lands after MarkDeadAndReassign is not stranded on the dead queue.
 func (p *UploadPlan) Fail(cloudName string, blockID int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -166,11 +176,49 @@ func (p *UploadPlan) Fail(cloudName string, blockID int) {
 	delete(p.inflight, blockID)
 	p.countByCloud[cloudName]--
 	p.obs.Counter("sched.plan.requeued").Inc()
-	if blockID < p.params.NormalBlocks() {
-		p.fairQueue[cloudName] = append(p.fairQueue[cloudName], blockID)
-	} else {
+	if blockID >= p.params.NormalBlocks() {
 		p.extraFree = append(p.extraFree, blockID)
+		return
 	}
+	if p.dead[cloudName] {
+		p.reassignLocked(blockID, nil)
+		return
+	}
+	p.fairQueue[cloudName] = append(p.fairQueue[cloudName], blockID)
+}
+
+// orphanedLocked counts normal blocks still owed by dead clouds —
+// queued on one, or in flight to one (those will fail and then need a
+// live home via reassignment).
+func (p *UploadPlan) orphanedLocked() int {
+	n := 0
+	for c, q := range p.fairQueue {
+		if p.dead[c] {
+			n += len(q)
+		}
+	}
+	for b, c := range p.inflight {
+		if b < p.params.NormalBlocks() && p.dead[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// spareLocked sums the live clouds' remaining capacity under the
+// per-cloud security ceiling, counting queued-but-unstarted work as
+// taken.
+func (p *UploadPlan) spareLocked() int {
+	spare := 0
+	for _, c := range p.clouds {
+		if p.dead[c] {
+			continue
+		}
+		if free := p.params.MaxPerCloud() - p.countByCloud[c] - len(p.fairQueue[c]); free > 0 {
+			spare += free
+		}
+	}
+	return spare
 }
 
 // MarkDead excludes a cloud from the plan: its pending normal blocks
@@ -179,10 +227,69 @@ func (p *UploadPlan) Fail(cloudName string, blockID int) {
 func (p *UploadPlan) MarkDead(cloudName string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.markDeadLocked(cloudName)
+}
+
+func (p *UploadPlan) markDeadLocked(cloudName string) {
 	if !p.dead[cloudName] {
 		p.obs.Counter("sched.plan.dead_marks").Inc()
 	}
 	p.dead[cloudName] = true
+}
+
+// MarkDeadAndReassign is the mid-transfer failover entry point: it
+// marks the cloud dead and moves its still-unassigned normal blocks
+// onto live clouds, preferring the given ranked order (healthiest
+// first), within each target's remaining per-cloud security capacity
+// (paper §4.2: no cloud may hold MaxPerCloud or more blocks). It
+// returns the number of blocks moved; blocks that fit nowhere are
+// dropped from the plan (the erasure code's redundancy absorbs the
+// loss) and counted under sched.plan.failover_dropped.
+func (p *UploadPlan) MarkDeadAndReassign(cloudName string, ranked []string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.markDeadLocked(cloudName)
+	orphans := p.fairQueue[cloudName]
+	p.fairQueue[cloudName] = nil
+	moved := 0
+	for _, b := range orphans {
+		if p.reassignLocked(b, ranked) {
+			moved++
+		}
+	}
+	return moved
+}
+
+// reassignLocked places a dead cloud's normal block onto the first
+// live cloud — in ranked order, then plan order for clouds the
+// ranking omitted — whose assigned-plus-queued block count stays
+// under the security ceiling. Reports whether a home was found.
+func (p *UploadPlan) reassignLocked(blockID int, ranked []string) bool {
+	seen := make(map[string]bool, len(ranked))
+	try := func(c string) bool {
+		if seen[c] || p.dead[c] {
+			return false
+		}
+		seen[c] = true
+		if p.countByCloud[c]+len(p.fairQueue[c]) >= p.params.MaxPerCloud() {
+			return false
+		}
+		p.fairQueue[c] = append(p.fairQueue[c], blockID)
+		p.obs.Counter("sched.plan.failover_moved").Inc()
+		return true
+	}
+	for _, c := range ranked {
+		if try(c) {
+			return true
+		}
+	}
+	for _, c := range p.clouds {
+		if try(c) {
+			return true
+		}
+	}
+	p.obs.Counter("sched.plan.failover_dropped").Inc()
+	return false
 }
 
 // Available reports whether the segment is available to the

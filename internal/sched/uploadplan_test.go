@@ -337,3 +337,183 @@ func TestUploadPlanPropertySecurityInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFailoverReassignsDeadClouds(t *testing.T) {
+	// The acceptance scenario: N=4, K=4, Kr=2, Ks=2 gives fair share 2,
+	// normal blocks 8, max 3 per cloud. One cloud dies before uploading
+	// anything; its 2 normal blocks must land on the 3 healthy clouds
+	// without any of them exceeding the per-cloud bound.
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2}
+	clouds := []string{"c1", "c2", "c3", "c4"}
+	plan := mustUploadPlan(t, p, clouds)
+
+	moved := plan.MarkDeadAndReassign("c4", []string{"c2", "c1", "c3"})
+	if moved != p.FairShare() {
+		t.Fatalf("moved = %d, want %d", moved, p.FairShare())
+	}
+	if _, ok := plan.NextBlock("c4"); ok {
+		t.Fatal("dead cloud still receives work")
+	}
+	// Drain the plan: every live cloud uploads everything offered.
+	counts := make(map[string]int)
+	for again := true; again; {
+		again = false
+		for _, c := range clouds[:3] {
+			if b, ok := plan.NextBlock(c); ok {
+				plan.Complete(c, b)
+				counts[c]++
+				again = true
+			}
+		}
+	}
+	total := 0
+	for c, n := range counts {
+		if n > p.MaxPerCloud() {
+			t.Errorf("%s holds %d blocks, above the MaxPerCloud=%d bound", c, n, p.MaxPerCloud())
+		}
+		total += n
+	}
+	// All 8 normal blocks must have found a home on the 3 live clouds.
+	if total < p.NormalBlocks() {
+		t.Errorf("only %d of %d normal blocks uploaded after failover", total, p.NormalBlocks())
+	}
+	if !plan.Available() {
+		t.Error("plan not available after failover drain")
+	}
+	if !plan.Reliable() {
+		t.Error("plan not reliable: live clouds should all have their fair share")
+	}
+}
+
+func TestFailoverRespectsRankedOrder(t *testing.T) {
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2}
+	plan := mustUploadPlan(t, p, []string{"c1", "c2", "c3", "c4"})
+	plan.MarkDeadAndReassign("c1", []string{"c3", "c2", "c4"})
+	// c3 is ranked healthiest and has capacity 3-0-2=1, so it takes the
+	// first orphan; the second also fits there? No: after one append its
+	// queued count is 3 >= MaxPerCloud, so the second goes to c2.
+	b3, ok3 := plan.NextBlock("c3")
+	_ = b3
+	if !ok3 {
+		t.Fatal("c3 should have work")
+	}
+	q3 := 1
+	for {
+		if _, ok := plan.NextBlock("c3"); !ok {
+			break
+		}
+		q3++
+	}
+	if q3 != p.MaxPerCloud() {
+		t.Errorf("c3 assigned %d blocks, want the full MaxPerCloud=%d", q3, p.MaxPerCloud())
+	}
+}
+
+func TestFailAfterDeathReassignsInFlightBlock(t *testing.T) {
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2}
+	plan := mustUploadPlan(t, p, []string{"c1", "c2", "c3", "c4"})
+	b, ok := plan.NextBlock("c4")
+	if !ok {
+		t.Fatal("no block for c4")
+	}
+	// c4 dies while b is in flight; the orphaned queue is reassigned
+	// first, then the in-flight block fails and must also move to a
+	// live cloud rather than back onto the dead queue.
+	plan.MarkDeadAndReassign("c4", nil)
+	plan.Fail("c4", b)
+	seen := false
+	for _, c := range []string{"c1", "c2", "c3"} {
+		for {
+			got, ok := plan.NextBlock(c)
+			if !ok {
+				break
+			}
+			if got == b {
+				seen = true
+			}
+		}
+	}
+	if !seen {
+		t.Errorf("block %d stranded on the dead cloud's queue", b)
+	}
+}
+
+func TestFailoverDropsWhenNoCapacity(t *testing.T) {
+	// Two dead clouds leave 2x2 orphans but only 2 live clouds with
+	// capacity (3-2=1 spare slot each): 2 move, 2 drop, and the plan
+	// still reaches availability (K=4 <= 6 placeable blocks).
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2}
+	plan := mustUploadPlan(t, p, []string{"c1", "c2", "c3", "c4"})
+	moved := plan.MarkDeadAndReassign("c3", nil)
+	moved += plan.MarkDeadAndReassign("c4", nil)
+	if moved != 2 {
+		t.Fatalf("moved = %d, want 2 (one spare slot per live cloud)", moved)
+	}
+}
+
+func TestOverprovisionReservesCapacityForOrphans(t *testing.T) {
+	// N=4, K=4, Kr=2, Ks=2: fair 2, normal 8, cap 3/cloud. c4's two
+	// normal blocks are in flight when it dies; the 9 live slots hold
+	// 6 fair + 2 orphans, leaving exactly 1 for extras. Over-
+	// provisioning must stop at that one extra instead of starving the
+	// orphans out of their slots.
+	p := Params{N: 4, K: 4, Kr: 2, Ks: 2}
+	clouds := []string{"c1", "c2", "c3", "c4"}
+	plan, err := NewUploadPlan(p, clouds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c4 takes its fair share in flight, then dies.
+	d1, _ := plan.NextBlock("c4")
+	d2, _ := plan.NextBlock("c4")
+	plan.MarkDead("c4")
+
+	// The healthy clouds drain everything on offer: fair shares first,
+	// then whatever extras the plan is willing to grant.
+	extras := 0
+	for _, c := range []string{"c1", "c2", "c3"} {
+		for {
+			b, ok := plan.NextBlock(c)
+			if !ok {
+				break
+			}
+			if b >= p.NormalBlocks() {
+				extras++
+			}
+			plan.Complete(c, b)
+		}
+	}
+	if extras != 1 {
+		t.Fatalf("granted %d extras with 2 orphans over 3 spare slots, want 1", extras)
+	}
+
+	// The orphans fail on the dead cloud, reassign, and complete.
+	plan.Fail("c4", d1)
+	plan.Fail("c4", d2)
+	for _, c := range []string{"c1", "c2", "c3"} {
+		for {
+			b, ok := plan.NextBlock(c)
+			if !ok || b >= p.NormalBlocks() {
+				break
+			}
+			plan.Complete(c, b)
+		}
+	}
+	placement := plan.Placement()
+	normal := 0
+	perCloud := make(map[string]int)
+	for b, c := range placement {
+		perCloud[c]++
+		if b < p.NormalBlocks() {
+			normal++
+		}
+	}
+	if normal != p.NormalBlocks() {
+		t.Fatalf("%d of %d normal blocks placed: %v", normal, p.NormalBlocks(), placement)
+	}
+	for c, n := range perCloud {
+		if n > p.MaxPerCloud() {
+			t.Errorf("%s holds %d blocks, above cap %d", c, n, p.MaxPerCloud())
+		}
+	}
+}

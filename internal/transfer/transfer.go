@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"unidrive/internal/cloud"
+	"unidrive/internal/health"
 	"unidrive/internal/meta"
 	"unidrive/internal/obs"
 	"unidrive/internal/sched"
@@ -59,6 +60,25 @@ type Config struct {
 	// Obs receives the engine's metrics (per-block retries, straggler
 	// drains, occupancy, goodput). nil disables recording.
 	Obs *obs.Registry
+	// Health, when non-nil, gates dispatch on the per-cloud circuit
+	// breakers: clouds whose breaker is open receive no new blocks —
+	// uploads fail over their queued blocks to healthy clouds, and
+	// downloads treat them as dead for the batch.
+	Health *health.Tracker
+	// HedgeQuantile is the latency quantile of the observed download
+	// block histogram past which an in-flight download counts as a
+	// straggler and earns a duplicate (hedged) request on a spare
+	// cloud. Default 0.95.
+	HedgeQuantile float64
+	// HedgeMinSamples is the minimum histogram population before the
+	// quantile deadline is trusted; below it HedgeFallbackDelay is
+	// used. Default 8.
+	HedgeMinSamples int
+	// HedgeFallbackDelay is the straggler deadline used while the
+	// latency histogram has too few samples (or Obs is nil). Default
+	// 30s, far above any healthy block time, so hedging effectively
+	// waits for real latency data unless a cloud is truly stuck.
+	HedgeFallbackDelay time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -79,6 +99,15 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real{}
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMinSamples <= 0 {
+		c.HedgeMinSamples = 8
+	}
+	if c.HedgeFallbackDelay <= 0 {
+		c.HedgeFallbackDelay = 30 * time.Second
 	}
 }
 
@@ -148,11 +177,13 @@ type result struct {
 	err       error
 }
 
-// dispatcher tracks idle connection slots and consecutive failures.
+// dispatcher tracks idle connection slots, consecutive failures, and
+// which clouds this batch has written off.
 type dispatcher struct {
 	e       *Engine
 	idle    map[string]int
 	streak  map[string]int
+	dead    map[string]bool
 	active  int
 	results chan result
 }
@@ -162,6 +193,7 @@ func (e *Engine) newDispatcher() *dispatcher {
 		e:       e,
 		idle:    make(map[string]int, len(e.names)),
 		streak:  make(map[string]int, len(e.names)),
+		dead:    make(map[string]bool, len(e.names)),
 		results: make(chan result),
 	}
 	for _, n := range e.names {
@@ -190,21 +222,31 @@ func (d *dispatcher) release(cloudName string) {
 }
 
 // retryPolicy builds the per-block retry policy using the engine's
-// clock for backoff.
+// clock for backoff. Backoff waits go through Clock.After so a hedge
+// winner's cancellation interrupts a loser stuck mid-backoff.
 func (e *Engine) retryPolicy() cloud.RetryPolicy {
-	p := cloud.DefaultRetryPolicy(e.cfg.Clock.Sleep)
+	p := cloud.DefaultRetryPolicy(nil)
+	p.After = e.cfg.Clock.After
 	p.MaxAttempts = e.cfg.RetryAttempts
 	return p
 }
 
+// admits reports whether the health tracker (if any) currently admits
+// traffic to the cloud.
+func (e *Engine) admits(name string) bool {
+	return e.cfg.Health == nil || e.cfg.Health.Admits(name)
+}
+
 // markOutcome updates failure streaks; it returns true when the cloud
-// should be excluded from the plan.
+// should be excluded from the plan. A circuit-breaker rejection means
+// the health layer already judged the cloud down — exclude it without
+// burning a failure streak on it.
 func (d *dispatcher) markOutcome(cloudName string, err error) (dead bool) {
 	if err == nil {
 		d.streak[cloudName] = 0
 		return false
 	}
-	if errors.Is(err, cloud.ErrUnavailable) {
+	if errors.Is(err, cloud.ErrUnavailable) || errors.Is(err, cloud.ErrCircuitOpen) {
 		return true
 	}
 	d.streak[cloudName]++
@@ -261,6 +303,34 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		}
 		return stopped
 	}
+	reg := e.cfg.Obs
+	// failover is the mid-transfer failover path: the cloud is written
+	// off for this batch and each plan's still-queued normal blocks
+	// are re-planned onto the healthiest live clouds, within the
+	// per-cloud placement bound (paper §4.2).
+	failover := func(name string) {
+		if d.dead[name] {
+			return
+		}
+		d.dead[name] = true
+		live := make([]string, 0, len(e.names))
+		for _, n := range e.names {
+			if n != name && !d.dead[n] && e.admits(n) {
+				live = append(live, n)
+			}
+		}
+		ranked := live
+		if e.cfg.Health != nil {
+			ranked = e.cfg.Health.Healthiest(live)
+		}
+		moved := 0
+		for _, it := range items {
+			moved += it.Plan.MarkDeadAndReassign(name, ranked)
+		}
+		if moved > 0 {
+			reg.Counter("transfer.up.failover_blocks").Add(int64(moved))
+		}
+	}
 	dispatch := func() {
 		if checkStop() {
 			return
@@ -268,6 +338,16 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		// Fastest clouds get first pick of the work (and of the
 		// over-provisioned extras).
 		for _, name := range e.prober.Rank(e.names, sched.Up) {
+			if d.dead[name] {
+				continue
+			}
+			if !e.admits(name) {
+				// Open breaker: route this cloud's blocks elsewhere
+				// instead of queuing work it would only reject.
+				reg.Counter("transfer.up.breaker_routed").Inc()
+				failover(name)
+				continue
+			}
 			for d.idle[name] > 0 {
 				if checkStop() {
 					return
@@ -290,7 +370,6 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		}
 	}
 
-	reg := e.cfg.Obs
 	dispatch()
 	for d.active > 0 {
 		r := <-d.results
@@ -305,14 +384,20 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		plan := items[r.item].Plan
 		if r.err != nil {
 			reg.Counter("transfer.up.blocks_failed").Inc()
+			if d.markOutcome(r.cloudName, r.err) {
+				// Write the cloud off first so Fail reroutes the failed
+				// block to a live cloud instead of requeueing it on the
+				// dead one.
+				reg.Counter("transfer.clouds_marked_dead").Inc()
+				failover(r.cloudName)
+			}
+			if d.dead[r.cloudName] {
+				// Fail on a dead cloud reroutes the in-flight block onto
+				// a live queue — that is a failover move too.
+				reg.Counter("transfer.up.failover_blocks").Inc()
+			}
 			plan.Fail(r.cloudName, r.blockID)
 			e.prober.ObserveFailure(r.cloudName, sched.Up)
-			if d.markOutcome(r.cloudName, r.err) {
-				reg.Counter("transfer.clouds_marked_dead").Inc()
-				for _, it := range items {
-					it.Plan.MarkDead(r.cloudName)
-				}
-			}
 		} else {
 			reg.Counter("transfer.up.blocks").Inc()
 			reg.Counter("transfer.up.bytes").Add(r.size)
@@ -419,6 +504,53 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		blocks[i] = make(map[int][]byte)
 	}
 	d := e.newDispatcher()
+	reg := e.cfg.Obs
+
+	// flights tracks every (item, block) currently being fetched —
+	// possibly by two clouds at once when hedged. Each attempt gets
+	// its own cancelable context so first-response-wins can cancel
+	// the loser.
+	type flightKey struct{ item, blockID int }
+	type flight struct {
+		start   time.Time
+		primary string
+		// attempts maps each fetching cloud to its cancel func.
+		attempts map[string]context.CancelFunc
+		// hedged records that hedging was decided (at most once per
+		// flight, even when no spare was available); dup records that a
+		// duplicate request actually went out — only those flights count
+		// toward the win/loss tally.
+		hedged bool
+		dup    bool
+		done   bool
+	}
+	flights := make(map[flightKey]*flight)
+
+	launch := func(item int, name string, blockID int) {
+		actx, cancel := context.WithCancel(ctx)
+		key := flightKey{item, blockID}
+		f := flights[key]
+		if f == nil {
+			f = &flight{start: e.cfg.Clock.Now(), primary: name,
+				attempts: make(map[string]context.CancelFunc, 2)}
+			flights[key] = f
+		}
+		f.attempts[name] = cancel
+		d.take(name)
+		go e.downloadBlock(actx, d.results, item, name, items[item].SegID, blockID)
+	}
+
+	// markDeadForBatch writes a cloud off for every plan in the batch.
+	markDeadForBatch := func(name string) {
+		if d.dead[name] {
+			return
+		}
+		d.dead[name] = true
+		for _, it := range items {
+			it.Plan.MarkDead(name)
+		}
+	}
+
 	dispatch := func() {
 		ranked := e.prober.Rank(e.names, sched.Down)
 		// The fastest cloud that can still contribute sets the speed
@@ -445,6 +577,16 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 			}
 		}
 		for _, name := range ranked {
+			if d.dead[name] {
+				continue
+			}
+			if !e.admits(name) {
+				// Open breaker: treat like an outage for this batch so
+				// the plans reroute its blocks to other holders.
+				reg.Counter("transfer.down.breaker_routed").Inc()
+				markDeadForBatch(name)
+				continue
+			}
 			tp := e.prober.Throughput(name, sched.Down)
 			if e.prober.Samples(name, sched.Down) > 0 && tp*e.cfg.SpeedCutoff < fastest {
 				continue
@@ -456,8 +598,7 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 					if !ok {
 						continue
 					}
-					d.take(name)
-					go e.downloadBlock(ctx, d.results, i, name, it.SegID, blockID)
+					launch(i, name, blockID)
 					dispatched = true
 					break
 				}
@@ -468,27 +609,136 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		}
 	}
 
-	reg := e.cfg.Obs
+	// hedgeDeadline is the straggler threshold: the configured quantile
+	// of observed block latencies, falling back to a fixed delay until
+	// the histogram is populated (Aktaş et al.: duplicate the slow
+	// reads, take the fastest responses).
+	hedgeDeadline := func() time.Duration {
+		if e.cfg.Obs != nil {
+			h := e.cfg.Obs.Histogram("transfer.down.block_seconds")
+			if h.Count() >= int64(e.cfg.HedgeMinSamples) {
+				if q := h.Quantile(e.cfg.HedgeQuantile); q > 0 {
+					return time.Duration(q * float64(time.Second))
+				}
+			}
+		}
+		return e.cfg.HedgeFallbackDelay
+	}
+
+	// launchHedges issues one duplicate request for every flight past
+	// the deadline, on the healthiest spare cloud that holds the block
+	// and has an idle connection. A flight is hedged at most once.
+	launchHedges := func(deadline time.Duration) {
+		now := e.cfg.Clock.Now()
+		for key, f := range flights {
+			if f.done || f.hedged || now.Before(f.start.Add(deadline)) {
+				continue
+			}
+			f.hedged = true
+			placed := false
+			cands := items[key.item].Plan.HedgeCandidates(key.blockID)
+			if e.cfg.Health != nil {
+				cands = e.cfg.Health.Healthiest(cands)
+			}
+			for _, spare := range cands {
+				if d.dead[spare] || d.idle[spare] <= 0 || !e.admits(spare) {
+					continue
+				}
+				if !items[key.item].Plan.Hedge(key.blockID, spare) {
+					continue
+				}
+				launch(key.item, spare, key.blockID)
+				f.dup = true
+				reg.Counter("transfer.down.hedges").Inc()
+				placed = true
+				break
+			}
+			if !placed {
+				reg.Counter("transfer.down.hedge_skipped").Inc()
+			}
+		}
+	}
+
+	// nextHedgeDue returns the earliest unhedged flight's deadline.
+	nextHedgeDue := func(deadline time.Duration) (time.Time, bool) {
+		var due time.Time
+		found := false
+		for _, f := range flights {
+			if f.done || f.hedged {
+				continue
+			}
+			t := f.start.Add(deadline)
+			if !found || t.Before(due) {
+				due, found = t, true
+			}
+		}
+		return due, found
+	}
+
 	batchStart := e.cfg.Clock.Now()
 	var bytesOK int64
 	notified := make([]bool, len(items))
 	dispatch()
 	for d.active > 0 {
-		r := <-d.results
+		deadline := hedgeDeadline()
+		var hedgeTimer <-chan time.Time
+		if due, ok := nextHedgeDue(deadline); ok {
+			wait := due.Sub(e.cfg.Clock.Now())
+			if wait <= 0 {
+				launchHedges(deadline)
+				continue
+			}
+			hedgeTimer = e.cfg.Clock.After(wait)
+		}
+		var r result
+		select {
+		case r = <-d.results:
+		case <-hedgeTimer:
+			launchHedges(deadline)
+			continue
+		}
 		d.release(r.cloudName)
+		key := flightKey{r.item, r.blockID}
+		f := flights[key]
+		f.attempts[r.cloudName]()
+		delete(f.attempts, r.cloudName)
+		if len(f.attempts) == 0 {
+			delete(flights, key)
+		}
+		if f.done {
+			// The block was already completed by the other fetcher;
+			// this is the cancelled loser draining. No plan calls, no
+			// health verdicts — just the freed slot.
+			reg.Counter("transfer.down.hedge_cancelled").Inc()
+			if ctx.Err() == nil {
+				dispatch()
+			}
+			continue
+		}
 		reg.Counter("transfer.down.retries").Add(int64(r.attempts - 1))
 		plan := items[r.item].Plan
 		if r.err != nil {
 			reg.Counter("transfer.down.blocks_failed").Inc()
-			plan.Fail(r.cloudName, r.blockID)
-			e.prober.ObserveFailure(r.cloudName, sched.Down)
 			if d.markOutcome(r.cloudName, r.err) {
 				reg.Counter("transfer.clouds_marked_dead").Inc()
-				for _, it := range items {
-					it.Plan.MarkDead(r.cloudName)
+				markDeadForBatch(r.cloudName)
+			}
+			plan.Fail(r.cloudName, r.blockID)
+			e.prober.ObserveFailure(r.cloudName, sched.Down)
+		} else {
+			f.done = true
+			if f.dup {
+				if r.cloudName == f.primary {
+					reg.Counter("transfer.down.hedge_losses").Inc()
+				} else {
+					reg.Counter("transfer.down.hedge_wins").Inc()
 				}
 			}
-		} else {
+			// First response wins: cancel any other attempt still
+			// running for this block.
+			for _, cancel := range f.attempts {
+				cancel()
+			}
 			reg.Counter("transfer.down.blocks").Inc()
 			reg.Counter("transfer.down.bytes").Add(r.size)
 			reg.Histogram("transfer.down.block_seconds").ObserveDuration(r.dur)

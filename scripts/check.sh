@@ -13,8 +13,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (data plane, obs, qlock, core)"
+echo "== go test -race (data plane, obs, qlock, core, health)"
 go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
-	./internal/obs/... ./internal/qlock/... ./internal/core/...
+	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/...
 
 echo "OK"

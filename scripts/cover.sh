@@ -3,11 +3,13 @@
 # a per-package breakdown, and two hard thresholds —
 #   total  >= COVER_BASELINE (the pre-observability-PR baseline)
 #   obs    >= COVER_OBS_MIN  (the metrics layer is held to a higher bar)
+#   health >= COVER_HEALTH_MIN (so is the circuit-breaker layer)
 set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE="${COVER_BASELINE:-74.9}"
 OBS_MIN="${COVER_OBS_MIN:-85.0}"
+HEALTH_MIN="${COVER_HEALTH_MIN:-85.0}"
 PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
 
 echo "== go test -coverprofile (all packages)"
@@ -35,8 +37,13 @@ obs_profile="${PROFILE}.obs"
 { head -n 1 "$PROFILE"; grep '^unidrive/internal/obs/' "$PROFILE" || true; } > "$obs_profile"
 obs=$(go tool cover -func="$obs_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 
+health_profile="${PROFILE}.health"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/health/' "$PROFILE" || true; } > "$health_profile"
+health=$(go tool cover -func="$health_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
 echo "total coverage: ${total}% (baseline ${BASELINE}%)"
 echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
+echo "internal/health coverage: ${health}% (minimum ${HEALTH_MIN}%)"
 
 fail=0
 if awk "BEGIN { exit !($total < $BASELINE) }"; then
@@ -45,6 +52,10 @@ if awk "BEGIN { exit !($total < $BASELINE) }"; then
 fi
 if awk "BEGIN { exit !($obs < $OBS_MIN) }"; then
 	echo "FAIL: internal/obs coverage ${obs}% is below the ${OBS_MIN}% bar" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($health < $HEALTH_MIN) }"; then
+	echo "FAIL: internal/health coverage ${health}% is below the ${HEALTH_MIN}% bar" >&2
 	fail=1
 fi
 exit $fail
