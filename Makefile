@@ -4,13 +4,15 @@ GO ?= go
 # metrics hot paths, quorum lock, full-stack sync); the race detector
 # runs over exactly these in `make test-race` and `make check`.
 RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
-	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/...
+	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
+	./internal/journal/...
 
 # Coverage gate: the repo total must not drop below the recorded
 # baseline, and the observability layer is held to a higher bar.
 COVER_BASELINE = 74.9
 COVER_OBS_MIN = 85.0
 COVER_HEALTH_MIN = 85.0
+COVER_JOURNAL_MIN = 85.0
 
 .PHONY: build vet test test-race bench-erasure bench chaos check cover
 
@@ -34,15 +36,16 @@ bench-erasure:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Fault-injection soak: the chaos, outage, failover, and hedging
-# tests under the race detector with a generous timeout.
+# Fault-injection soak: the chaos, outage, failover, hedging, and
+# crash-recovery tests under the race detector with a generous timeout.
 chaos:
-	$(GO) test -race -timeout 15m -run 'Chaos|Outage|Failover|Hedge|Flaky|Breaker|Guard|Degraded' \
+	$(GO) test -race -timeout 15m -run 'Chaos|Outage|Failover|Hedge|Flaky|Breaker|Guard|Degraded|Crash|Recover' \
 		./internal/core/... ./internal/transfer/... ./internal/health/... \
 		./internal/qlock/... ./internal/cloudsim/...
 
 cover:
-	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) COVER_HEALTH_MIN=$(COVER_HEALTH_MIN) ./scripts/cover.sh
+	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) COVER_HEALTH_MIN=$(COVER_HEALTH_MIN) \
+		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) ./scripts/cover.sh
 
 # Tier-1 gate: everything a change must pass before merging.
 check: vet build test test-race

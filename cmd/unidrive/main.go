@@ -92,8 +92,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if restored, err := client.LoadState(); err == nil && restored {
+	if restored, reason, err := client.LoadState(); err == nil && restored {
 		fmt.Println("restored previous sync state")
+	} else if err == nil && reason != core.ColdStartFresh {
+		fmt.Printf("cold start (%s): rescanning the whole folder\n", reason)
+	}
+	if rec, err := client.Recover(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "unidrive: crash recovery:", err)
+	} else if rec.IntentsReplayed > 0 {
+		fmt.Printf("crash recovery: %d intents replayed, %d blocks resumed, %d orphans reclaimed, %d paths preserved\n",
+			rec.IntentsReplayed, rec.BlocksResumed, rec.OrphansReclaimed, rec.PathsSuppressed)
 	}
 	fmt.Printf("unidrive: device %q, folder %s, %d clouds, params %+v\n",
 		*device, folder.Root(), len(clouds), client.Params())

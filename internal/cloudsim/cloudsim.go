@@ -77,6 +77,21 @@ func (s *Store) FileCount() int {
 	return len(s.files)
 }
 
+// Paths returns every stored file path, sorted — the omniscient view
+// crash-recovery tests use to audit that no unreferenced block
+// survives anywhere, bypassing the cloud.Interface a client would be
+// limited to.
+func (s *Store) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // put stores data at path, enforcing the quota.
 func (s *Store) put(path string, data []byte) error {
 	if err := cloud.ValidatePath(path); err != nil {

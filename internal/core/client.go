@@ -36,6 +36,7 @@ import (
 	"unidrive/internal/deltasync"
 	"unidrive/internal/erasure"
 	"unidrive/internal/health"
+	"unidrive/internal/journal"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
 	"unidrive/internal/metacrypt"
@@ -76,6 +77,11 @@ type Config struct {
 	Clock vclock.Clock
 	// LockExpiry is the lock-breaking threshold ΔT.
 	LockExpiry time.Duration
+	// ReleaseTimeout bounds the quorum-lock release performed after
+	// every commit: a stalled cloud must not hang shutdown, so the
+	// release is abandoned after this long (the flag files expire on
+	// their own after LockExpiry). Default 10s.
+	ReleaseTimeout time.Duration
 	// Obs, when non-nil, receives the client's full telemetry: every
 	// Web API call of every cloud (per-cloud op table), the transfer
 	// engine's counters, the prober's throughput gauges, and the
@@ -127,6 +133,9 @@ func (c *Config) fillDefaults(n int) {
 	if c.LockExpiry <= 0 {
 		c.LockExpiry = qlock.DefaultExpiry
 	}
+	if c.ReleaseTimeout <= 0 {
+		c.ReleaseTimeout = 10 * time.Second
+	}
 }
 
 // Client is one device's UniDrive instance.
@@ -143,6 +152,9 @@ type Client struct {
 	store   *deltasync.Store
 	locks   *qlock.Manager
 	changes *meta.ChangedFileList
+	journal *journal.Journal
+	// crash is the test-only seeded crash harness (see crash.go).
+	crash crashState
 
 	mu sync.Mutex
 	// last is the device's view of the committed metadata (the
@@ -154,6 +166,11 @@ type Client struct {
 	coders map[[2]int]*erasure.Coder
 	// conflicts accumulates detected conflicts for the user.
 	conflicts []string
+	// recovered holds block placements adopted from a replayed crash
+	// intent (segment ID -> block ID -> cloud); chunkFile consumes an
+	// entry the first time it re-chunks the segment, so the re-upload
+	// pass skips blocks that already survive in the clouds.
+	recovered map[string]map[int]string
 }
 
 // New creates a UniDrive client over the given clouds and local
@@ -231,11 +248,23 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 			Obs:    cfg.Obs,
 			Health: healthGate(cfg.Health),
 		}),
-		changes: meta.NewChangedFileList(),
-		last:    meta.NewImage(),
-		segData: make(map[string][]byte),
-		coders:  make(map[[2]int]*erasure.Coder),
+		changes:   meta.NewChangedFileList(),
+		last:      meta.NewImage(),
+		segData:   make(map[string][]byte),
+		coders:    make(map[[2]int]*erasure.Coder),
+		recovered: make(map[string]map[int]string),
 	}
+	// The intent journal lives inside the sync folder; a damaged file
+	// (possible only on non-durable folders) resets to empty rather
+	// than wedging the client, surfaced as an obs counter.
+	jl, intact, err := journal.Open(folder)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening intent journal: %w", err)
+	}
+	if !intact {
+		cfg.Obs.Counter("journal.damaged").Inc()
+	}
+	cl.journal = jl
 	return cl, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudsim"
 	"unidrive/internal/localfs"
+	"unidrive/internal/meta"
 	"unidrive/internal/qlock"
 )
 
@@ -516,6 +517,55 @@ func TestRemoveCloudRebalances(t *testing.T) {
 	}
 	if !bytes.Equal(gotB, []byte(content)) {
 		t.Fatal("second device cannot read after rebalance")
+	}
+}
+
+// TestRemoveCloudDropsFairPlacedReferences pins a metadata-hygiene
+// regression: when the surviving clouds already hold exactly their
+// fair shares, the movement plan for a segment is empty — but the
+// removed cloud's block references must still be scrubbed from the
+// committed image, or every later read and GC pass keeps consulting
+// a cloud that no longer exists.
+func TestRemoveCloudDropsFairPlacedReferences(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	writeFile(t, fa, "data.bin", randContent(11, 10_000))
+	syncOK(t, a)
+
+	// Force the worst-case placement: block b on cloud b mod 5.
+	// Dropping c4 then leaves every survivor exactly at its fair
+	// share, so PlanRebalance has nothing to move.
+	img := a.Image()
+	names := []string{"c0", "c1", "c2", "c3", "c4"}
+	var rels []*meta.Change
+	for _, segID := range sortedSegmentIDs(img) {
+		updated := img.Segments[segID].Clone()
+		updated.Blocks = nil
+		for i := 0; i < 9; i++ {
+			updated.AddBlock(i, names[i%5])
+		}
+		rels = append(rels, &meta.Change{
+			Type: meta.ChangeRelocate, Path: segID,
+			Segments: []*meta.Segment{updated},
+		})
+	}
+	if _, err := a.store.Commit(ctxT(t), rels); err != nil {
+		t.Fatal(err)
+	}
+
+	var clouds []cloud.Interface
+	for _, st := range r.stores[:4] {
+		clouds = append(clouds, cloudsim.NewDirect(st))
+	}
+	if err := a.SetClouds(ctxT(t), clouds); err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range a.Image().Segments {
+		for _, b := range seg.Blocks {
+			if b.CloudID == "c4" {
+				t.Fatalf("segment %s still references the removed cloud", seg.ID)
+			}
+		}
 	}
 }
 

@@ -44,12 +44,19 @@ func (c *Client) chunkFile(info localfs.FileInfo, data []byte) (*meta.Snapshot, 
 		// lands, and a private buffer avoids pinning the whole file
 		// buffer for one small segment.
 		c.cacheSegment(id, append([]byte(nil), s.Data...))
-		records = append(records, &meta.Segment{
+		rec := &meta.Segment{
 			ID:     id,
 			Length: len(s.Data),
 			K:      c.params.K,
 			N:      c.params.CodeN(),
-		})
+		}
+		// Adopt blocks that crash recovery verified are already in the
+		// clouds from an interrupted pass: the upload plan resumes from
+		// them instead of re-uploading.
+		for blockID, cloudName := range c.takeRecovered(id) {
+			rec.AddBlock(blockID, cloudName)
+		}
+		records = append(records, rec)
 	}
 	return snap, records
 }
@@ -130,6 +137,11 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 				session.release()
 				return nil, out, err
 			}
+			// Blocks surviving from a crashed pass (adopted by recovery
+			// into the segment record) count as already uploaded.
+			for _, b := range seg.Blocks {
+				plan.SeedUploaded(b.BlockID, b.CloudID)
+			}
 			seen[seg.ID] = true
 			session.plans = append(session.plans, sessionSegment{seg: seg, plan: plan, src: src})
 			out.SegmentsUploaded++
@@ -148,10 +160,31 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 			}
 			return true
 		}
-		availAt, err := c.engine.UploadBatch(ctx, session.items(), allAvailable)
+		uploadedTotal := func() int {
+			total := 0
+			for _, p := range session.plans {
+				total += len(p.plan.UploadedBlocks())
+			}
+			return total
+		}
+		stop := allAvailable
+		crashAfter, crashArmed := c.crashThreshold(CrashMidUpload)
+		if crashArmed {
+			stop = func() bool {
+				return uploadedTotal() >= crashAfter || allAvailable()
+			}
+		}
+		availAt, err := c.engine.UploadBatch(ctx, session.items(), stop)
 		if err != nil {
 			session.release()
 			return nil, out, err
+		}
+		if crashArmed && uploadedTotal() >= crashAfter {
+			// Die with blocks in the clouds that no metadata (and no
+			// journaled placement) references — the worst orphan window.
+			c.disarmCrash(CrashMidUpload)
+			session.release()
+			return nil, out, ErrCrashInjected
 		}
 		session.availAt = availAt
 		for _, p := range session.plans {

@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"strconv"
-	"strings"
 	"time"
 
 	"unidrive/internal/meta"
@@ -27,7 +25,7 @@ func (c *Client) TrimOverProvisioned(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	defer lock.Release(context.WithoutCancel(ctx))
+	defer c.releaseLock(ctx, lock)
 
 	img, err := c.store.Fetch(ctx)
 	if err != nil {
@@ -135,15 +133,7 @@ func (c *Client) GCOrphanBlocks(ctx context.Context) (int, error) {
 
 // parseBlockName splits "<segmentID>.<blockID>".
 func parseBlockName(name string) (segID string, blockID int, ok bool) {
-	i := strings.LastIndexByte(name, '.')
-	if i <= 0 || i == len(name)-1 {
-		return "", 0, false
-	}
-	n, err := strconv.Atoi(name[i+1:])
-	if err != nil {
-		return "", 0, false
-	}
-	return name[:i], n, true
+	return meta.ParseBlockName(name)
 }
 
 func sortInts(xs []int) {

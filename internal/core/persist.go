@@ -54,30 +54,55 @@ func (c *Client) SaveState() error {
 	return c.folder.WriteFile(statePath, data, c.cfg.Clock.Now())
 }
 
-// LoadState restores persisted state saved by SaveState, returning
-// false when no usable state exists (fresh folder, different device,
-// or corrupt file — all treated as a cold start). Call it once,
-// before the first SyncOnce.
-func (c *Client) LoadState() (bool, error) {
+// Cold-start reasons returned by LoadState, also the suffix of the
+// "core.coldstart.<reason>" counter bumped for each. A cold start is
+// correct but expensive (the whole folder re-chunks on the next scan),
+// so an unexpected one — corrupt state where a checkpoint should be,
+// a foreign device's file — must not pass silently.
+const (
+	// ColdStartFresh: no state file — a genuinely new folder.
+	ColdStartFresh = "fresh"
+	// ColdStartCorrupt: the state file exists but does not parse.
+	ColdStartCorrupt = "corrupt"
+	// ColdStartForeignDevice: the state file belongs to another device.
+	ColdStartForeignDevice = "foreign_device"
+	// ColdStartCorruptImage: the state parsed but its embedded
+	// metadata image does not decode.
+	ColdStartCorruptImage = "corrupt_image"
+)
+
+// LoadState restores persisted state saved by SaveState. restored is
+// false for a cold start; reason then says why (one of the ColdStart*
+// constants), and the matching core.coldstart.<reason> counter is
+// bumped so surprising cold starts surface in the obs tables instead
+// of only as a mysteriously slow first sync. Call it once, before the
+// first SyncOnce.
+func (c *Client) LoadState() (restored bool, reason string, err error) {
 	data, err := c.folder.ReadFile(statePath)
 	if errors.Is(err, localfs.ErrNotExist) {
-		return false, nil
+		return false, c.coldStart(ColdStartFresh), nil
 	}
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	var st persistentState
 	if err := json.Unmarshal(data, &st); err != nil {
-		return false, nil // corrupt state: cold start
+		return false, c.coldStart(ColdStartCorrupt), nil
 	}
 	if st.Device != c.cfg.Device {
-		return false, nil
+		return false, c.coldStart(ColdStartForeignDevice), nil
 	}
 	img, err := meta.DecodeImage(st.Image)
 	if err != nil {
-		return false, nil
+		return false, c.coldStart(ColdStartCorruptImage), nil
 	}
 	c.setLast(img)
 	c.scanner.Restore(st.Baseline)
-	return true, nil
+	return true, "", nil
+}
+
+// coldStart counts a cold-start reason and returns it.
+func (c *Client) coldStart(reason string) string {
+	c.cfg.Obs.Counter("core.coldstart." + reason).Inc()
+	return reason
 }

@@ -8,6 +8,7 @@ import (
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudsim"
 	"unidrive/internal/localfs"
+	"unidrive/internal/obs"
 )
 
 // restartDevice builds a new client over the SAME folder and stores,
@@ -37,7 +38,7 @@ func TestRestartResumesWithoutRecommit(t *testing.T) {
 	// Restart: a fresh client over the same folder restores state and
 	// must not re-commit the unchanged file.
 	a2 := restartDevice(t, r, "alpha", fa)
-	restored, err := a2.LoadState()
+	restored, _, err := a2.LoadState()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,6 +54,44 @@ func TestRestartResumesWithoutRecommit(t *testing.T) {
 	}
 }
 
+// TestReceiverRestartDoesNotRecommit pins the receiver side of the
+// restart contract: a device that APPLIED files from the clouds (as
+// opposed to committing its own) saves its state before the next scan
+// folds the applied writes into the baseline. Restarting from that
+// state must not re-detect the downloads as local edits.
+func TestReceiverRestartDoesNotRecommit(t *testing.T) {
+	r := newRig(5)
+	a, fa := r.device(t, "alpha")
+	b, fb := r.device(t, "beta")
+	writeFile(t, fa, "one.txt", "from alpha")
+	writeFile(t, fa, "two.txt", "also from alpha")
+	syncOK(t, a)
+	syncOK(t, b) // beta applies both, saves state, exits cleanly
+
+	b2 := restartDevice(t, r, "beta", fb)
+	if restored, _, err := b2.LoadState(); err != nil || !restored {
+		t.Fatalf("restored=%v err=%v", restored, err)
+	}
+	rep := syncOK(t, b2)
+	if rep.LocalChanges != 0 {
+		t.Fatalf("restarted receiver re-committed %d changes", rep.LocalChanges)
+	}
+	// Deletions applied from the clouds restart just as quietly.
+	if err := fa.Remove("two.txt"); err != nil {
+		t.Fatal(err)
+	}
+	syncOK(t, a)
+	syncOK(t, b2)
+	b3 := restartDevice(t, r, "beta", fb)
+	if restored, _, err := b3.LoadState(); err != nil || !restored {
+		t.Fatalf("restored=%v err=%v", restored, err)
+	}
+	rep = syncOK(t, b3)
+	if rep.LocalChanges != 0 {
+		t.Fatalf("restart after applied deletion re-committed %d changes", rep.LocalChanges)
+	}
+}
+
 func TestRestartDetectsOfflineEdits(t *testing.T) {
 	r := newRig(5)
 	a, fa := r.device(t, "alpha")
@@ -64,7 +103,7 @@ func TestRestartDetectsOfflineEdits(t *testing.T) {
 	// running; the client restarts.
 	writeFile(t, fa, "doc.txt", "v2 written while offline")
 	a2 := restartDevice(t, r, "alpha", fa)
-	if restored, _ := a2.LoadState(); !restored {
+	if restored, _, _ := a2.LoadState(); !restored {
 		t.Fatal("state not restored")
 	}
 	rep := syncOK(t, a2)
@@ -87,26 +126,77 @@ func TestLoadStateRejectsForeignDevice(t *testing.T) {
 	syncOK(t, a)
 	// A different device name must not adopt alpha's state.
 	b := restartDevice(t, r, "beta", fa)
-	restored, err := b.LoadState()
+	restored, reason, err := b.LoadState()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if restored {
 		t.Fatal("beta adopted alpha's state file")
 	}
+	if reason != ColdStartForeignDevice {
+		t.Fatalf("cold-start reason %q, want %q", reason, ColdStartForeignDevice)
+	}
 }
 
 func TestLoadStateColdStartOnMissingOrCorrupt(t *testing.T) {
 	r := newRig(5)
 	a, fa := r.device(t, "alpha")
-	if restored, err := a.LoadState(); err != nil || restored {
-		t.Fatalf("fresh folder: restored=%v err=%v", restored, err)
+	if restored, reason, err := a.LoadState(); err != nil || restored || reason != ColdStartFresh {
+		t.Fatalf("fresh folder: restored=%v reason=%q err=%v", restored, reason, err)
 	}
 	if err := fa.WriteFile(statePath, []byte("{corrupt"), time.Now()); err != nil {
 		t.Fatal(err)
 	}
-	if restored, err := a.LoadState(); err != nil || restored {
-		t.Fatalf("corrupt state: restored=%v err=%v", restored, err)
+	if restored, reason, err := a.LoadState(); err != nil || restored || reason != ColdStartCorrupt {
+		t.Fatalf("corrupt state: restored=%v reason=%q err=%v", restored, reason, err)
+	}
+}
+
+// TestColdStartsAreCounted pins satellite requirement: a cold start
+// must surface in the obs tables, not just in a return value the
+// caller may ignore.
+func TestColdStartsAreCounted(t *testing.T) {
+	r := newRig(5)
+	folder := localfs.NewMem()
+	var clouds []cloud.Interface
+	for _, st := range r.stores {
+		clouds = append(clouds, cloudsim.NewDirect(st))
+	}
+	reg := obs.NewRegistry()
+	a, err := New(clouds, folder, Config{
+		Device: "alpha", Passphrase: "shared-secret", Theta: 4096,
+		LockExpiry: 500 * time.Millisecond, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("core.coldstart." + ColdStartFresh).Value(); got != 1 {
+		t.Fatalf("core.coldstart.fresh = %d, want 1", got)
+	}
+	if err := folder.WriteFile(statePath, []byte("not json"), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.LoadState(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("core.coldstart." + ColdStartCorrupt).Value(); got != 1 {
+		t.Fatalf("core.coldstart.corrupt = %d, want 1", got)
+	}
+	// A restored state bumps nothing further.
+	writeFile(t, folder, "f.txt", "x")
+	syncOK(t, a)
+	if restored, _, err := a.LoadState(); err != nil || !restored {
+		t.Fatalf("restored=%v err=%v", restored, err)
+	}
+	total := int64(0)
+	for _, reason := range []string{ColdStartFresh, ColdStartCorrupt, ColdStartForeignDevice, ColdStartCorruptImage} {
+		total += reg.Counter("core.coldstart." + reason).Value()
+	}
+	if total != 2 {
+		t.Fatalf("cold-start counters total %d, want 2", total)
 	}
 }
 

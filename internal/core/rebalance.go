@@ -50,7 +50,7 @@ func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) err
 	if err != nil {
 		return err
 	}
-	defer lock.Release(context.WithoutCancel(ctx))
+	defer c.releaseLock(ctx, lock)
 
 	img, err := c.store.Fetch(ctx)
 	if err != nil {
@@ -68,7 +68,18 @@ func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) err
 		if err != nil {
 			return fmt.Errorf("core: rebalancing segment %s: %w", segID, err)
 		}
-		if plan.Empty() {
+		// An empty plan still needs a metadata rewrite when the
+		// placement references a removed cloud: the surviving clouds
+		// already hold their fair shares (nothing to move), but the
+		// dead cloud's block references must not outlive it.
+		stale := false
+		for _, cloudName := range placement {
+			if _, ok := byName[cloudName]; !ok {
+				stale = true
+				break
+			}
+		}
+		if plan.Empty() && !stale {
 			continue
 		}
 		if err := c.executeRebalance(ctx, seg, plan, byName); err != nil {

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"time"
 
+	"unidrive/internal/journal"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
+	"unidrive/internal/qlock"
 	"unidrive/internal/sched"
 	"unidrive/internal/transfer"
 )
@@ -65,8 +67,12 @@ func (c *Client) ScanLocal() error {
 				return err
 			}
 		case localfs.Removed:
+			// Stamp the scan-observed time: the tombstone committed for
+			// this delete carries it, and a zero time would make a
+			// deleted-then-recreated path look infinitely old to any
+			// reader ordering versions by timestamp.
 			if err := c.changes.Record(&meta.Change{
-				Type: meta.ChangeDelete, Path: ev.Info.Path, Time: time.Time{},
+				Type: meta.ChangeDelete, Path: ev.Info.Path, Time: c.cfg.Clock.Now(),
 			}); err != nil {
 				return err
 			}
@@ -140,6 +146,22 @@ func (c *Client) commitLocal(ctx context.Context, report *SyncReport) error {
 		}
 	}()
 
+	// Write-ahead intent: before any block leaves this device, the
+	// journal records what this pass is about to upload, so a crash at
+	// ANY later point leaves a replayable record instead of silently
+	// leaked blocks. A retried batch (same changes after a failed
+	// pass) re-begins the same intent ID.
+	intentID := journal.BatchID(changes)
+	if err := c.journal.Begin(&journal.Intent{
+		ID:        intentID,
+		Kind:      journal.KindUpload,
+		Device:    c.cfg.Device,
+		CreatedAt: c.cfg.Clock.Now(),
+		Changes:   changes,
+	}); err != nil {
+		return err
+	}
+
 	session, outcome, err := c.uploadAvailability(ctx, changes)
 	if err != nil {
 		return err
@@ -149,9 +171,25 @@ func (c *Client) commitLocal(ctx context.Context, report *SyncReport) error {
 	defer session.release()
 	report.Upload = outcome
 
+	// Record the landed availability placements. Best effort: recovery
+	// re-verifies against a live survey, so a lost update costs
+	// nothing; but an intact record lets operators see exactly what a
+	// crashed pass had achieved.
+	for _, p := range session.plans {
+		_ = c.journal.UpdatePlacements(intentID, p.seg.ID, p.plan.Placement())
+	}
+
 	commitStart := c.cfg.Clock.Now()
 	commitDone, err := c.commitUnderLock(ctx, &changes, report, true)
 	if err != nil {
+		return err
+	}
+	if c.crashNow(CrashPostCommit) {
+		// The commit landed but the journal still says "uploading" —
+		// recovery must detect committedness from the image itself.
+		return ErrCrashInjected
+	}
+	if err := c.journal.MarkCommitted(intentID, report.Version); err != nil {
 		return err
 	}
 	report.LocalChanges = len(changes)
@@ -176,7 +214,31 @@ func (c *Client) commitLocal(ctx context.Context, report *SyncReport) error {
 			return err
 		}
 	}
-	return nil
+	// The pass is fully recorded in committed metadata (including the
+	// reliability-phase placements): the intent has served its purpose.
+	return c.journal.Clear(intentID)
+}
+
+// releaseLock releases a quorum lock with a hard deadline so a
+// stalled cloud cannot hang shutdown: the release proceeds in the
+// background for at most ReleaseTimeout (detached from the caller's
+// cancellation — a cancelled sync must still try to unlock), after
+// which it is abandoned and counted under qlock.release_timeouts.
+// An abandoned release is safe: the flag files expire after
+// LockExpiry and every other device breaks them.
+func (c *Client) releaseLock(ctx context.Context, lock *qlock.Lock) {
+	rctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), c.cfg.ReleaseTimeout)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer cancel()
+		_ = lock.Release(rctx)
+	}()
+	select {
+	case <-done:
+	case <-rctx.Done():
+		c.cfg.Obs.Counter("qlock.release_timeouts").Inc()
+	}
 }
 
 // commitUnderLock acquires the quorum lock, reconciles against any
@@ -189,7 +251,10 @@ func (c *Client) commitUnderLock(ctx context.Context, changes *[]*meta.Change, r
 	if err != nil {
 		return time.Time{}, err
 	}
-	defer lock.Release(context.WithoutCancel(ctx))
+	defer c.releaseLock(ctx, lock)
+	if c.crashNow(CrashPreCommit) {
+		return time.Time{}, ErrCrashInjected
+	}
 
 	pending, err := c.store.CheckRemote(ctx)
 	if err != nil {
@@ -199,11 +264,15 @@ func (c *Client) commitUnderLock(ctx context.Context, changes *[]*meta.Change, r
 		if _, err := c.store.Fetch(ctx); err != nil {
 			return time.Time{}, err
 		}
-		if reconcile {
-			*changes, err = c.reconcile(ctx, *changes, report)
-			if err != nil {
-				return time.Time{}, err
-			}
+	}
+	// Reconcile whenever the cached image is ahead of what this device
+	// has applied locally — not just when CheckRemote saw it first.
+	// Recovery pre-fetches the image at startup, so a cloud update can
+	// already sit in the cache with nothing "pending" remotely.
+	if reconcile && c.store.Cached().Version > c.lastImage().Version {
+		*changes, err = c.reconcile(ctx, *changes, report)
+		if err != nil {
+			return time.Time{}, err
 		}
 	}
 	if !lock.Valid() {
@@ -346,6 +415,32 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 	diff := meta.DiffImages(from, to)
 	applied := 0
 
+	// Journal the apply before the first folder mutation: a crash
+	// mid-apply leaves a half-written folder, and without a record the
+	// next scan would re-detect the downloaded halves as local edits.
+	var touched []string
+	for _, path := range diff.Paths() {
+		if diff[path].After != nil {
+			touched = append(touched, path)
+		}
+	}
+	intentID := ""
+	if len(touched) > 0 {
+		intentID = "apply:" + fmt.Sprintf("%d-%d", from.Version, to.Version)
+		if err := c.journal.Begin(&journal.Intent{
+			ID:        intentID,
+			Kind:      journal.KindApply,
+			Device:    c.cfg.Device,
+			CreatedAt: c.cfg.Clock.Now(),
+			Paths:     touched,
+		}); err != nil {
+			return 0, err
+		}
+	}
+
+	crashAfter, crashArmed := c.crashThreshold(CrashMidApply)
+	crashed := false
+
 	// pendingFile tracks a file whose segments are downloading.
 	type pendingFile struct {
 		snap *meta.Snapshot
@@ -356,9 +451,16 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 	}
 	var files []*pendingFile
 	var items []transfer.DownloadItem
+	// writeErrs and applied are mutated both inline and from download
+	// Done callbacks; that is race-free because DownloadBatch runs
+	// every Done on this goroutine (the serialization contract on
+	// transfer.DownloadItem.Done).
 	writeErrs := make(map[string]error)
 
 	finish := func(f *pendingFile) {
+		if crashed {
+			return // the injected crash already "killed" this pass
+		}
 		data := make([]byte, 0, f.snap.Size)
 		for _, p := range f.parts {
 			data = append(data, p...)
@@ -369,6 +471,9 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 		}
 		c.scanner.Suppress(f.snap.Path, int64(len(data)), f.snap.ModTime, false)
 		applied++
+		if crashArmed && applied >= crashAfter {
+			crashed = true
+		}
 	}
 
 	for _, path := range diff.Paths() {
@@ -377,12 +482,18 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 			continue
 		}
 		if after.Deleted {
+			if crashed {
+				continue
+			}
 			if _, err := c.folder.Stat(path); err == nil {
 				if err := c.folder.Remove(path); err != nil {
 					return applied, err
 				}
 				c.scanner.Suppress(path, 0, time.Time{}, true)
 				applied++
+				if crashArmed && applied >= crashAfter {
+					crashed = true
+				}
 			}
 			continue
 		}
@@ -458,8 +569,21 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 			return applied, fmt.Errorf("core: file %s: %w", f.snap.Path, transfer.ErrSegmentUnrecoverable)
 		}
 	}
-	for path, err := range writeErrs {
-		return applied, fmt.Errorf("core: applying %s: %w", path, err)
+	// Report write failures in diff order, not map order, so a pass
+	// that trips several returns the same error every time.
+	for _, path := range diff.Paths() {
+		if err, ok := writeErrs[path]; ok {
+			return applied, fmt.Errorf("core: applying %s: %w", path, err)
+		}
+	}
+	if crashed {
+		return applied, ErrCrashInjected
+	}
+	if intentID != "" {
+		// Every path landed; the half-applied window is closed.
+		if err := c.journal.Clear(intentID); err != nil {
+			return applied, err
+		}
 	}
 	return applied, nil
 }
@@ -487,17 +611,22 @@ func (c *Client) gcSegments(ctx context.Context, from, to *meta.Image) {
 }
 
 // RunLoop runs SyncOnce every SyncInterval (the paper's τ) until the
-// context is cancelled. Errors from individual passes are delivered
-// to onError (which may be nil) and do not stop the loop.
+// context is cancelled, starting with one immediate pass — a
+// restarted device converges right away instead of sitting dark for
+// a full interval. Errors from individual passes are delivered to
+// onError (which may be nil) and do not stop the loop.
 func (c *Client) RunLoop(ctx context.Context, onError func(error)) {
 	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if _, err := c.SyncOnce(ctx); err != nil && onError != nil {
+			onError(err)
+		}
 		select {
 		case <-ctx.Done():
 			return
 		case <-c.cfg.Clock.After(c.cfg.SyncInterval):
-		}
-		if _, err := c.SyncOnce(ctx); err != nil && onError != nil {
-			onError(err)
 		}
 	}
 }

@@ -196,6 +196,63 @@ func (d *Dir) WriteFile(path string, data []byte, modTime time.Time) error {
 	return nil
 }
 
+// DurableWriter is an optional Folder extension for writes that must
+// survive a process crash or power loss: the data is flushed to stable
+// storage and the replacement of any previous content is atomic (a
+// reader sees either the old file or the new one, never a torn mix).
+// The intent journal uses it when available; folders without physical
+// durability (Mem) simply fall back to WriteFile.
+type DurableWriter interface {
+	WriteFileDurable(path string, data []byte, modTime time.Time) error
+}
+
+var _ DurableWriter = (*Dir)(nil)
+
+// WriteFileDurable implements DurableWriter: the data is written to a
+// temporary file in the target directory, fsynced, and renamed over
+// the destination, so a crash mid-write leaves the previous content
+// intact and a completed call survives power loss.
+func (d *Dir) WriteFileDurable(path string, data []byte, modTime time.Time) error {
+	p, err := d.resolve(path)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("localfs: mkdir for %q: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(p)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("localfs: temp for %q: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("localfs: write %q: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("localfs: sync %q: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("localfs: close %q: %w", path, err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		cleanup()
+		return fmt.Errorf("localfs: rename %q: %w", path, err)
+	}
+	if !modTime.IsZero() {
+		if err := os.Chtimes(p, modTime, modTime); err != nil {
+			return fmt.Errorf("localfs: chtimes %q: %w", path, err)
+		}
+	}
+	return nil
+}
+
 // Remove implements Folder.
 func (d *Dir) Remove(path string) error {
 	p, err := d.resolve(path)
@@ -361,12 +418,27 @@ func (s *Scanner) Restore(infos []FileInfo) {
 }
 
 // Baseline returns the scanner's current known state, sorted by path,
-// for persistence.
+// for persistence. Pending suppressions are folded in: a suppressed
+// path is one UniDrive itself just wrote (or removed), and that state
+// is exactly what the next Scan will record as known — persisting the
+// pre-write baseline instead would make a restarted client re-detect
+// its own applied downloads as fresh local edits.
 func (s *Scanner) Baseline() []FileInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]FileInfo, 0, len(s.prev))
-	for _, fi := range s.prev {
+	merged := make(map[string]FileInfo, len(s.prev))
+	for path, fi := range s.prev {
+		merged[path] = fi
+	}
+	for path, sup := range s.suppress {
+		if sup.removed {
+			delete(merged, path)
+		} else {
+			merged[path] = FileInfo{Path: path, Size: sup.size, ModTime: sup.modTime}
+		}
+	}
+	out := make([]FileInfo, 0, len(merged))
+	for _, fi := range merged {
 		out = append(out, fi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })

@@ -238,6 +238,54 @@ func TestScannerSuppressMismatchStillReported(t *testing.T) {
 	}
 }
 
+// TestBaselineFoldsPendingSuppressions pins the persisted-baseline
+// contract: state saved right after UniDrive applied a cloud update
+// (writes suppressed, next Scan not yet run) must already reflect
+// those writes — a client restarted from a pre-write baseline would
+// re-detect its own downloads as local edits.
+func TestBaselineFoldsPendingSuppressions(t *testing.T) {
+	f := NewMem()
+	must(t, f.WriteFile("kept.txt", []byte("old"), time.Unix(1, 0)))
+	must(t, f.WriteFile("gone.txt", []byte("x"), time.Unix(1, 0)))
+	s := NewScanner(f)
+	if err := s.Prime(); err != nil {
+		t.Fatal(err)
+	}
+	// UniDrive applies: rewrites kept.txt, writes new.txt, removes
+	// gone.txt — all suppressed, none scanned yet.
+	mt := time.Unix(2000, 0)
+	s.Suppress("kept.txt", 7, mt, false)
+	s.Suppress("new.txt", 9, mt, false)
+	s.Suppress("gone.txt", 0, time.Time{}, true)
+	got := make(map[string]FileInfo)
+	for _, fi := range s.Baseline() {
+		got[fi.Path] = fi
+	}
+	if _, there := got["gone.txt"]; there {
+		t.Fatal("suppressed removal survives in the baseline")
+	}
+	if fi := got["kept.txt"]; fi.Size != 7 || !fi.ModTime.Equal(mt) {
+		t.Fatalf("kept.txt baseline = %+v, want the suppressed write", fi)
+	}
+	if fi, there := got["new.txt"]; !there || fi.Size != 9 {
+		t.Fatalf("new.txt missing from baseline: %+v", fi)
+	}
+	// Folding must not consume the entries: the next Scan still needs
+	// them to stay quiet.
+	events, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kept.txt and new.txt were never actually written here, so their
+	// unmatched suppressions correctly surface the difference; only
+	// gone.txt's removal must stay silent.
+	for _, ev := range events {
+		if ev.Info.Path == "gone.txt" {
+			t.Fatalf("suppressed removal reported: %+v", ev)
+		}
+	}
+}
+
 func TestChangeKindString(t *testing.T) {
 	if Added.String() != "added" || Modified.String() != "modified" || Removed.String() != "removed" {
 		t.Fatal("kind names wrong")

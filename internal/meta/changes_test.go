@@ -98,6 +98,34 @@ func TestImageApplyChange(t *testing.T) {
 	}
 }
 
+// TestApplyDeleteStampsTombstoneTime is a regression test: ScanLocal
+// used to record ChangeDelete with a zero Time, so every committed
+// tombstone carried the zero ModTime — a deleted-then-recreated path
+// looked infinitely old to anything ordering versions by timestamp.
+// The tombstone must carry the change's observation time.
+func TestApplyDeleteStampsTombstoneTime(t *testing.T) {
+	im := NewImage()
+	if err := im.Apply(addChange("f", "s1"), "dev"); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	del := delChange("f")
+	del.Time = when
+	if err := im.Apply(del, "dev"); err != nil {
+		t.Fatal(err)
+	}
+	cur := im.Lookup("f").Current()
+	if cur == nil || !cur.Deleted {
+		t.Fatal("tombstone not installed")
+	}
+	if !cur.ModTime.Equal(when) {
+		t.Fatalf("tombstone ModTime = %v, want %v", cur.ModTime, when)
+	}
+	if cur.ModTime.IsZero() {
+		t.Fatal("tombstone carries the zero time")
+	}
+}
+
 func TestChangedFileListCoalesces(t *testing.T) {
 	l := NewChangedFileList()
 	if !l.Empty() {

@@ -27,6 +27,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -63,6 +65,20 @@ type Segment struct {
 // segID.
 func BlockName(segID string, blockID int) string {
 	return fmt.Sprintf("%s.%d", segID, blockID)
+}
+
+// ParseBlockName splits a cloud block filename "<segment-ID>.<Block-ID>"
+// back into its parts. ok is false for names that are not block files.
+func ParseBlockName(name string) (segID string, blockID int, ok bool) {
+	i := strings.LastIndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return "", 0, false
+	}
+	return name[:i], n, true
 }
 
 // HasBlock reports whether the segment records blockID on cloudID.

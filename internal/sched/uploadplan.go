@@ -292,6 +292,45 @@ func (p *UploadPlan) reassignLocked(blockID int, ranked []string) bool {
 	return false
 }
 
+// SeedUploaded pre-marks a block as already present on cloudName —
+// crash recovery adopting blocks that survived an interrupted pass —
+// so the plan neither re-uploads it nor double-assigns its ID. A
+// seeded normal block is removed from its deterministic owner's fair
+// queue and credited to that owner's fair share (block b belongs to
+// cloud b mod N, the same assignment a restarted plan recomputes); a
+// seeded extra advances the over-provisioning cursor past its ID. It
+// reports whether the block was adopted (false for duplicates).
+func (p *UploadPlan) SeedUploaded(blockID int, cloudName string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if blockID < 0 {
+		return false
+	}
+	if _, done := p.uploaded[blockID]; done {
+		return false
+	}
+	if _, running := p.inflight[blockID]; running {
+		return false
+	}
+	p.uploaded[blockID] = cloudName
+	p.countByCloud[cloudName]++
+	if blockID < p.params.NormalBlocks() {
+		owner := p.clouds[blockID%len(p.clouds)]
+		q := p.fairQueue[owner]
+		for i, b := range q {
+			if b == blockID {
+				p.fairQueue[owner] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		p.fairUploaded[owner]++
+	} else if blockID >= p.nextExtra {
+		p.nextExtra = blockID + 1
+	}
+	p.obs.Counter("sched.plan.seeded").Inc()
+	return true
+}
+
 // Available reports whether the segment is available to the
 // multi-cloud: at least K blocks uploaded in total (paper §6.2).
 func (p *UploadPlan) Available() bool {

@@ -517,3 +517,81 @@ func TestOverprovisionReservesCapacityForOrphans(t *testing.T) {
 		}
 	}
 }
+
+func TestSeedUploadedSkipsReupload(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	// Blocks 0 and 1 survived a crashed pass on their deterministic
+	// owners (b mod N).
+	if !plan.SeedUploaded(0, "c0") || !plan.SeedUploaded(1, "c1") {
+		t.Fatal("seeding fresh blocks refused")
+	}
+	if plan.SeedUploaded(0, "c0") {
+		t.Fatal("duplicate seed accepted")
+	}
+	if plan.SeedUploaded(-1, "c0") {
+		t.Fatal("negative block ID accepted")
+	}
+	// The owners must not be handed their seeded blocks again.
+	if b, ok := plan.NextBlock("c0"); ok && b == 0 {
+		t.Fatalf("c0 re-assigned seeded block %d", b)
+	}
+	if b, ok := plan.NextBlock("c1"); ok && b == 1 {
+		t.Fatalf("c1 re-assigned seeded block %d", b)
+	}
+	pl := plan.Placement()
+	if pl[0] != "c0" || pl[1] != "c1" {
+		t.Fatalf("placement missing seeded blocks: %v", pl)
+	}
+}
+
+func TestSeedUploadedCountsTowardGoals(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	// Seed one full fair share everywhere but c4: K=3 seeds make the
+	// segment available, and the plan is reliable once c4 uploads its
+	// own share.
+	for b := 0; b < paperParams.NormalBlocks(); b++ {
+		owner := fiveClouds[b%len(fiveClouds)]
+		if owner == "c4" {
+			continue
+		}
+		plan.SeedUploaded(b, owner)
+	}
+	if !plan.Available() {
+		t.Fatal("plan not available after seeding K blocks")
+	}
+	if plan.Reliable() {
+		t.Fatal("plan reliable while c4 owes its fair share")
+	}
+	for {
+		b, ok := plan.NextBlock("c4")
+		if !ok {
+			break
+		}
+		plan.Complete("c4", b)
+	}
+	if !plan.Reliable() {
+		t.Fatal("plan not reliable after the last cloud caught up")
+	}
+}
+
+func TestSeedUploadedExtraAdvancesCursor(t *testing.T) {
+	plan := mustUploadPlan(t, paperParams, fiveClouds)
+	extra := paperParams.NormalBlocks() + 1
+	if !plan.SeedUploaded(extra, "c2") {
+		t.Fatal("seeding an extra refused")
+	}
+	// Drain every assignable block: the seeded extra ID must never be
+	// handed out again.
+	for moved := true; moved; {
+		moved = false
+		for _, c := range fiveClouds {
+			if b, ok := plan.NextBlock(c); ok {
+				if b == extra {
+					t.Fatalf("seeded extra %d re-assigned to %s", extra, c)
+				}
+				plan.Complete(c, b)
+				moved = true
+			}
+		}
+	}
+}

@@ -471,6 +471,13 @@ type DownloadItem struct {
 	// assemble and deliver early files while later files still
 	// transfer (the paper's per-file completion). It must return
 	// quickly: it runs on the dispatcher goroutine.
+	//
+	// Serialization contract: every Done callback of a batch runs on
+	// the single goroutine that called DownloadBatch, strictly one at
+	// a time, and the last one returns before DownloadBatch does.
+	// Callers may therefore mutate shared un-synchronized state
+	// (accumulators, error maps) from Done without locking — the core
+	// apply path depends on this.
 	Done func(blocks map[int][]byte)
 }
 
@@ -747,6 +754,9 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 			blocks[r.item][r.blockID] = r.data
 			e.prober.Observe(r.cloudName, sched.Down, r.size, r.dur)
 			d.markOutcome(r.cloudName, nil)
+			// Completion callbacks fire here, on the dispatcher's own
+			// goroutine (the DownloadBatch caller), never concurrently —
+			// the serialization contract documented on DownloadItem.Done.
 			if plan.Done() && !notified[r.item] && items[r.item].Done != nil {
 				notified[r.item] = true
 				items[r.item].Done(blocks[r.item])
@@ -790,6 +800,47 @@ func (e *Engine) downloadBlock(ctx context.Context, results chan<- result, item 
 		attempts:  attempts,
 		err:       err,
 	}
+}
+
+// SurveyBlocks verifies block existence by listing: one List of the
+// block directory per cloud, filtered down to the requested segments.
+// It returns, for each segment that has any surviving blocks, the
+// block locations that actually exist right now — crash recovery uses
+// this to resume interrupted uploads without re-uploading present
+// blocks, and to find orphans to reclaim.
+//
+// The survey is conservative by construction: a cloud whose List
+// fails (counted under transfer.survey.clouds_failed) simply
+// contributes no locations, so its blocks are neither adopted nor
+// deleted. A missing block directory is an empty cloud, not a
+// failure.
+func (e *Engine) SurveyBlocks(ctx context.Context, segIDs []string) map[string][]meta.BlockLocation {
+	want := make(map[string]bool, len(segIDs))
+	for _, id := range segIDs {
+		want[id] = true
+	}
+	out := make(map[string][]meta.BlockLocation)
+	for _, name := range e.names {
+		entries, err := e.clouds[name].List(ctx, e.cfg.BlockDir)
+		if errors.Is(err, cloud.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			e.cfg.Obs.Counter("transfer.survey.clouds_failed").Inc()
+			continue
+		}
+		for _, en := range entries {
+			if en.IsDir {
+				continue
+			}
+			segID, blockID, ok := meta.ParseBlockName(en.Name)
+			if !ok || !want[segID] {
+				continue
+			}
+			out[segID] = append(out[segID], meta.BlockLocation{BlockID: blockID, CloudID: name})
+		}
+	}
+	return out
 }
 
 // DeleteBlocks removes the given blocks (block ID -> cloud) of a

@@ -13,8 +13,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (data plane, obs, qlock, core, health)"
+echo "== go test -race (data plane, obs, qlock, core, health, journal)"
 go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
-	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/...
+	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
+	./internal/journal/...
 
 echo "OK"

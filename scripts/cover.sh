@@ -1,15 +1,17 @@
 #!/bin/sh
 # Coverage gate: one instrumented test run over the whole module,
 # a per-package breakdown, and two hard thresholds —
-#   total  >= COVER_BASELINE (the pre-observability-PR baseline)
-#   obs    >= COVER_OBS_MIN  (the metrics layer is held to a higher bar)
-#   health >= COVER_HEALTH_MIN (so is the circuit-breaker layer)
+#   total   >= COVER_BASELINE (the pre-observability-PR baseline)
+#   obs     >= COVER_OBS_MIN  (the metrics layer is held to a higher bar)
+#   health  >= COVER_HEALTH_MIN (so is the circuit-breaker layer)
+#   journal >= COVER_JOURNAL_MIN (and the crash-consistency journal)
 set -eu
 cd "$(dirname "$0")/.."
 
 BASELINE="${COVER_BASELINE:-74.9}"
 OBS_MIN="${COVER_OBS_MIN:-85.0}"
 HEALTH_MIN="${COVER_HEALTH_MIN:-85.0}"
+JOURNAL_MIN="${COVER_JOURNAL_MIN:-85.0}"
 PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
 
 echo "== go test -coverprofile (all packages)"
@@ -41,9 +43,14 @@ health_profile="${PROFILE}.health"
 { head -n 1 "$PROFILE"; grep '^unidrive/internal/health/' "$PROFILE" || true; } > "$health_profile"
 health=$(go tool cover -func="$health_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 
+journal_profile="${PROFILE}.journal"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/journal/' "$PROFILE" || true; } > "$journal_profile"
+journal=$(go tool cover -func="$journal_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
 echo "total coverage: ${total}% (baseline ${BASELINE}%)"
 echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
 echo "internal/health coverage: ${health}% (minimum ${HEALTH_MIN}%)"
+echo "internal/journal coverage: ${journal}% (minimum ${JOURNAL_MIN}%)"
 
 fail=0
 if awk "BEGIN { exit !($total < $BASELINE) }"; then
@@ -56,6 +63,10 @@ if awk "BEGIN { exit !($obs < $OBS_MIN) }"; then
 fi
 if awk "BEGIN { exit !($health < $HEALTH_MIN) }"; then
 	echo "FAIL: internal/health coverage ${health}% is below the ${HEALTH_MIN}% bar" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($journal < $JOURNAL_MIN) }"; then
+	echo "FAIL: internal/journal coverage ${journal}% is below the ${JOURNAL_MIN}% bar" >&2
 	fail=1
 fi
 exit $fail
