@@ -5,7 +5,7 @@ GO ?= go
 # runs over exactly these in `make test-race` and `make check`.
 RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
 	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
-	./internal/journal/...
+	./internal/journal/... ./internal/localfs/... ./internal/deltasync/...
 
 # Coverage gate: the repo total must not drop below the recorded
 # baseline, and the observability layer is held to a higher bar.
@@ -13,8 +13,9 @@ COVER_BASELINE = 74.9
 COVER_OBS_MIN = 85.0
 COVER_HEALTH_MIN = 85.0
 COVER_JOURNAL_MIN = 85.0
+COVER_LOCALFS_MIN = 85.0
 
-.PHONY: build vet test test-race bench-erasure bench chaos check cover
+.PHONY: build vet test test-race bench-erasure bench-sync bench chaos check cover
 
 build:
 	$(GO) build ./...
@@ -33,6 +34,12 @@ test-race:
 bench-erasure:
 	$(GO) test -run '^$$' -bench 'BenchmarkErasure|BenchmarkGF' -benchmem ./internal/erasure/ ./internal/gf256/
 
+# Control-plane pass latency: full rescan vs event-driven at 1k/10k/50k
+# files. BENCH_sync.json snapshots a run of these
+# (UNIDRIVE_WRITE_BENCH=1 go test -run TestWriteSyncBenchSnapshot ./internal/core/).
+bench-sync:
+	$(GO) test -run '^$$' -bench BenchmarkSyncPass -benchmem ./internal/core/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
@@ -45,7 +52,7 @@ chaos:
 
 cover:
 	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) COVER_HEALTH_MIN=$(COVER_HEALTH_MIN) \
-		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) ./scripts/cover.sh
+		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) COVER_LOCALFS_MIN=$(COVER_LOCALFS_MIN) ./scripts/cover.sh
 
 # Tier-1 gate: everything a change must pass before merging.
 check: vet build test test-race

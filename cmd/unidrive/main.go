@@ -7,10 +7,17 @@
 //
 //	unidrive -folder ./sync -device laptop -passphrase secret \
 //	         -clouds http://localhost:8081,http://localhost:8082,http://localhost:8083 \
-//	         [-kr 2] [-ks 2] [-once] [-interval 30s]
+//	         [-kr 2] [-ks 2] [-once] [-interval 30s] [-watch=false] \
+//	         [-debounce 500ms] [-rescan-interval 5m]
 //
-// Without -once it runs as a daemon, scanning the folder and syncing
-// every -interval.
+// Without -once it runs as a daemon. On platforms with filesystem
+// notifications (and unless -watch=false) the daemon is event-driven:
+// local edits are detected by a watcher, debounced for -debounce, and
+// committed with an O(changes) pass; the clouds are polled for peer
+// commits every -interval via a cheap version-stamp check; and a full
+// folder rescan every -rescan-interval catches anything a lossy
+// watcher dropped. Without watch support it falls back to a full scan
+// every -interval (the paper's periodic design).
 package main
 
 import (
@@ -49,7 +56,10 @@ func run() error {
 	kr := flag.Int("kr", 0, "min reachable clouds that must recover data (default N-2, >=1)")
 	ks := flag.Int("ks", 2, "min breached clouds that may reconstruct data")
 	once := flag.Bool("once", false, "sync once and exit")
-	interval := flag.Duration("interval", 30*time.Second, "sync interval in daemon mode")
+	interval := flag.Duration("interval", 30*time.Second, "remote poll (and polling-mode sync) interval in daemon mode")
+	watch := flag.Bool("watch", true, "use filesystem notifications when available (event-driven sync)")
+	debounce := flag.Duration("debounce", 0, "settle window for coalescing watcher events (default: min(500ms, interval/4))")
+	rescanInterval := flag.Duration("rescan-interval", 0, "safety-net full-rescan period in watch mode (default: 10x interval)")
 	flag.Parse()
 
 	if *passphrase == "" {
@@ -79,15 +89,31 @@ func run() error {
 	}
 	reg := obs.NewRegistry()
 	tracker := health.NewDefaultTracker(vclock.Real{}, time.Now().UnixNano(), reg)
+	printReport := func(rep core.SyncReport) {
+		fmt.Printf("sync v%d: %d local changes committed, %d cloud changes applied",
+			rep.Version, rep.LocalChanges, rep.CloudChanges)
+		if rep.Upload.SegmentsUploaded > 0 {
+			fmt.Printf(", %d segments (%d bytes) uploaded, available in %v",
+				rep.Upload.SegmentsUploaded, rep.Upload.BytesUploaded, rep.AvailableDuration.Round(time.Millisecond))
+		}
+		for _, c := range rep.Conflicts {
+			fmt.Printf("\nconflict retained as %q", c)
+		}
+		fmt.Println()
+	}
 	client, err := core.New(clouds, folder, core.Config{
-		Device:       *device,
-		Passphrase:   *passphrase,
-		K:            *k,
-		Kr:           *kr,
-		Ks:           *ks,
-		SyncInterval: *interval,
-		Obs:          reg,
-		Health:       tracker,
+		Device:             *device,
+		Passphrase:         *passphrase,
+		K:                  *k,
+		Kr:                 *kr,
+		Ks:                 *ks,
+		SyncInterval:       *interval,
+		DisableWatch:       !*watch,
+		DebounceWindow:     *debounce,
+		FullRescanInterval: *rescanInterval,
+		OnPass:             printReport,
+		Obs:                reg,
+		Health:             tracker,
 	})
 	if err != nil {
 		return err
@@ -106,47 +132,35 @@ func run() error {
 	fmt.Printf("unidrive: device %q, folder %s, %d clouds, params %+v\n",
 		*device, folder.Root(), len(clouds), client.Params())
 
-	syncAndReport := func() error {
+	if *once {
 		rep, err := client.SyncOnce(ctx)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("sync v%d: %d local changes committed, %d cloud changes applied",
-			rep.Version, rep.LocalChanges, rep.CloudChanges)
-		if rep.Upload.SegmentsUploaded > 0 {
-			fmt.Printf(", %d segments (%d bytes) uploaded, available in %v",
-				rep.Upload.SegmentsUploaded, rep.Upload.BytesUploaded, rep.AvailableDuration.Round(time.Millisecond))
-		}
-		for _, c := range rep.Conflicts {
-			fmt.Printf("\nconflict retained as %q", c)
-		}
-		fmt.Println()
+		printReport(rep)
 		return nil
 	}
 
-	if err := syncAndReport(); err != nil {
-		return err
+	if *watch {
+		fmt.Printf("watching %s: event-driven when supported, remote poll every %v (ctrl-c to stop)\n",
+			folder.Root(), *interval)
+	} else {
+		fmt.Printf("polling %s every %v (ctrl-c to stop)\n", folder.Root(), *interval)
 	}
-	if *once {
-		return nil
-	}
-	fmt.Printf("watching %s every %v (ctrl-c to stop)\n", folder.Root(), *interval)
-	for {
-		select {
-		case <-ctx.Done():
-			fmt.Println("unidrive: stopped")
-			return nil
-		case <-time.After(*interval):
-		}
-		if err := syncAndReport(); err != nil {
-			fmt.Fprintln(os.Stderr, "unidrive: sync:", err)
-			for _, c := range clouds {
-				if b := tracker.Breaker(c.Name()); b.State() != health.Closed {
-					fmt.Fprintf(os.Stderr, "unidrive: cloud %s breaker %v\n", c.Name(), b.State())
-				}
+	// RunLoop owns the cadence from here: an immediate first full pass,
+	// then watcher-driven dirty passes, remote stamp polls, and the
+	// safety-net rescans. OnPass (printReport) narrates passes that
+	// moved data; errors surface here with breaker context.
+	client.RunLoop(ctx, func(err error) {
+		fmt.Fprintln(os.Stderr, "unidrive: sync:", err)
+		for _, c := range clouds {
+			if b := tracker.Breaker(c.Name()); b.State() != health.Closed {
+				fmt.Fprintf(os.Stderr, "unidrive: cloud %s breaker %v\n", c.Name(), b.State())
 			}
 		}
-	}
+	})
+	fmt.Println("unidrive: stopped")
+	return nil
 }
 
 func hostnameDefault() string {

@@ -99,7 +99,7 @@ func run() error {
 	for _, segID := range img.Paths() {
 		_ = segID
 	}
-	for id, seg := range img.Segments {
+	for id, seg := range img.AllSegments() {
 		perCloud := map[string]int{}
 		for _, b := range seg.Blocks {
 			perCloud[b.CloudID]++

@@ -22,7 +22,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -39,8 +38,14 @@ type Store struct {
 	mu    sync.RWMutex
 	files map[string]storedFile
 	dirs  map[string]bool
-	used  int64
-	now   func() time.Time
+	// children indexes the direct child names of every directory (""
+	// is the root), so list and subtree remove touch only the entries
+	// under the requested path instead of scanning the whole store —
+	// matching real providers, whose per-directory API calls do not
+	// slow down as the rest of the account grows.
+	children map[string]map[string]bool
+	used     int64
+	now      func() time.Time
 }
 
 type storedFile struct {
@@ -52,11 +57,12 @@ type storedFile struct {
 // storage quota in bytes. A non-positive quota means unlimited.
 func NewStore(name string, quota int64) *Store {
 	return &Store{
-		name:  name,
-		quota: quota,
-		files: make(map[string]storedFile),
-		dirs:  make(map[string]bool),
-		now:   time.Now,
+		name:     name,
+		quota:    quota,
+		files:    make(map[string]storedFile),
+		dirs:     make(map[string]bool),
+		children: make(map[string]map[string]bool),
+		now:      time.Now,
 	}
 }
 
@@ -109,11 +115,30 @@ func (s *Store) put(path string, data []byte) error {
 	}
 	s.files[path] = storedFile{data: append([]byte(nil), data...), modTime: s.now()}
 	s.used += delta
+	s.link(path)
 	// Parent directories exist implicitly.
 	for dir, _ := cloud.SplitPath(path); dir != ""; dir, _ = cloud.SplitPath(dir) {
 		s.dirs[dir] = true
 	}
 	return nil
+}
+
+// link records path and all its ancestors in the children index.
+// Caller holds mu.
+func (s *Store) link(path string) {
+	for p := path; p != ""; {
+		dir, name := cloud.SplitPath(p)
+		m := s.children[dir]
+		if m == nil {
+			m = make(map[string]bool)
+			s.children[dir] = m
+		}
+		if m[name] {
+			return // ancestors already linked
+		}
+		m[name] = true
+		p = dir
+	}
 }
 
 // get returns a copy of the file at path.
@@ -148,6 +173,7 @@ func (s *Store) mkdir(path string) error {
 	for p := path; p != ""; p, _ = cloud.SplitPath(p) {
 		s.dirs[p] = true
 	}
+	s.link(path)
 	return nil
 }
 
@@ -161,41 +187,17 @@ func (s *Store) list(dir string) ([]cloud.Entry, error) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	prefix := ""
-	if dir != "" {
-		prefix = dir + "/"
-	}
-	seen := make(map[string]cloud.Entry)
-	for path, f := range s.files {
-		if !strings.HasPrefix(path, prefix) {
-			continue
+	out := make([]cloud.Entry, 0, len(s.children[dir]))
+	for name := range s.children[dir] {
+		child := name
+		if dir != "" {
+			child = dir + "/" + name
 		}
-		rest := path[len(prefix):]
-		if rest == "" {
-			continue
+		if len(s.children[child]) > 0 || s.dirs[child] {
+			out = append(out, cloud.Entry{Name: name, IsDir: true})
+		} else if f, ok := s.files[child]; ok {
+			out = append(out, cloud.Entry{Name: name, Size: int64(len(f.data)), ModTime: f.modTime})
 		}
-		if i := strings.IndexByte(rest, '/'); i >= 0 {
-			name := rest[:i]
-			seen[name] = cloud.Entry{Name: name, IsDir: true}
-		} else {
-			seen[rest] = cloud.Entry{Name: rest, Size: int64(len(f.data)), ModTime: f.modTime}
-		}
-	}
-	for d := range s.dirs {
-		if !strings.HasPrefix(d, prefix) {
-			continue
-		}
-		rest := d[len(prefix):]
-		if rest == "" || strings.ContainsRune(rest, '/') {
-			continue
-		}
-		if _, ok := seen[rest]; !ok {
-			seen[rest] = cloud.Entry{Name: rest, IsDir: true}
-		}
-	}
-	out := make([]cloud.Entry, 0, len(seen))
-	for _, e := range seen {
-		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
@@ -209,24 +211,29 @@ func (s *Store) remove(path string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.removeSubtree(path)
+	dir, name := cloud.SplitPath(path)
+	if m := s.children[dir]; m != nil {
+		delete(m, name)
+		if len(m) == 0 && dir != "" {
+			delete(s.children, dir)
+		}
+	}
+	return nil
+}
+
+// removeSubtree deletes path and everything under it, walking the
+// children index. Caller holds mu.
+func (s *Store) removeSubtree(path string) {
 	if f, ok := s.files[path]; ok {
 		s.used -= int64(len(f.data))
 		delete(s.files, path)
 	}
-	prefix := path + "/"
-	for p, f := range s.files {
-		if strings.HasPrefix(p, prefix) {
-			s.used -= int64(len(f.data))
-			delete(s.files, p)
-		}
-	}
 	delete(s.dirs, path)
-	for d := range s.dirs {
-		if strings.HasPrefix(d, prefix) {
-			delete(s.dirs, d)
-		}
+	for name := range s.children[path] {
+		s.removeSubtree(path + "/" + name)
 	}
-	return nil
+	delete(s.children, path)
 }
 
 // listSize estimates the response payload of a List call, used to

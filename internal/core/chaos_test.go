@@ -235,17 +235,24 @@ func TestChaosBreakerFailover(t *testing.T) {
 	if _, outage := deadUp.InjectedFaults(); outage.Total() == 0 {
 		t.Fatal("upload sync never hit the dying cloud — outage window missed the transfer")
 	}
-	if st := trkA.Breaker("c1").State(); st != health.Open {
-		t.Errorf("alpha breaker for c1 = %v, want Open", st)
+	// Open, or half-open if the (scaled) cooldown elapsed between the
+	// trip and this read — the transition counters below pin down that
+	// it tripped and never closed.
+	if st := trkA.Breaker("c1").State(); st == health.Closed {
+		t.Errorf("alpha breaker for c1 = %v, want tripped", st)
 	}
 	if opened, _, closed := breakerTransitions(regA, "c1"); opened < 1 || closed != 0 {
 		t.Errorf("alpha c1 transitions: opened=%d closed=%d, want opened>=1 closed=0", opened, closed)
 	}
 
-	// c3 dies on beta a few requests into its catch-up sync — mid-
-	// download — and recovers after a short window.
+	// c3 dies on beta for the whole catch-up sync and recovers after a
+	// short window. The window opens at c3's very next request: with
+	// the delta-cursor refresh a catch-up pass reads only version
+	// stamps plus the blocks the scheduler routes to each cloud, and
+	// the speed-ranked download plan may legitimately send c3 nothing —
+	// so a later-opening window can miss the sync entirely.
 	deadDown := r.flaky["beta"][3]
-	deadDown.AddOutageWindow(deadDown.Ops()+3, deadDown.Ops()+10)
+	deadDown.AddOutageWindow(deadDown.Ops()+1, deadDown.Ops()+8)
 	syncChaosTo(t, b, upRep.Version)
 
 	// Byte-identical convergence despite both fault injections.

@@ -71,8 +71,45 @@ type Config struct {
 	// ConnsPerCloud bounds concurrent transfers per cloud (paper
 	// uses 5).
 	ConnsPerCloud int
-	// SyncInterval is τ, the period of the background sync loop.
+	// SyncInterval is τ, the period of the background sync loop. In
+	// watch mode it paces the remote observer's stamp polls; in polling
+	// mode (no watcher) it paces full passes exactly as before.
 	SyncInterval time.Duration
+	// The event-loop knobs below are resolved lazily inside RunLoop
+	// (not in fillDefaults) so their defaults track SyncInterval even
+	// when it is adjusted after New.
+	//
+	// DebounceWindow is the settle window of the change buffer: a burst
+	// of watcher events must go quiet for this long before the dirty
+	// paths are scanned, so editor write-then-rename save patterns
+	// coalesce into one pass. Default min(500ms, SyncInterval/4).
+	DebounceWindow time.Duration
+	// DebounceMax bounds how long a never-quiet folder can postpone a
+	// pass: dirty paths older than this are scanned even if events keep
+	// arriving. Default 10×DebounceWindow.
+	DebounceMax time.Duration
+	// RemotePollInterval paces the remote observer's version-stamp
+	// checks in watch mode. Default SyncInterval.
+	RemotePollInterval time.Duration
+	// FullRescanInterval paces the full-folder safety-net rescan that
+	// reconciles dropped watcher events. Default 10×SyncInterval in
+	// watch mode; SyncInterval in polling mode (where the full pass IS
+	// the loop).
+	FullRescanInterval time.Duration
+	// BackoffBase and BackoffMax shape the jittered exponential backoff
+	// applied after consecutive failed passes (reset on the first
+	// success). Defaults SyncInterval and 16×SyncInterval.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DisableWatch forces polling mode even on watchable folders.
+	DisableWatch bool
+	// CheckpointInterval throttles state checkpoints (SaveState is
+	// O(folder)); zero checkpoints after every applying pass, matching
+	// the pre-event-loop behavior.
+	CheckpointInterval time.Duration
+	// OnPass, when non-nil, receives the report of every successful
+	// RunLoop pass that committed or applied something.
+	OnPass func(SyncReport)
 	// Clock paces all waiting (lock refresh, retries, sync loop).
 	Clock vclock.Clock
 	// LockExpiry is the lock-breaking threshold ΔT.
@@ -171,6 +208,8 @@ type Client struct {
 	// entry the first time it re-chunks the segment, so the re-upload
 	// pass skips blocks that already survive in the clouds.
 	recovered map[string]map[int]string
+	// lastCheckpoint is when SaveState last ran (see CheckpointInterval).
+	lastCheckpoint time.Time
 }
 
 // New creates a UniDrive client over the given clouds and local
@@ -240,7 +279,13 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 			Obs:           cfg.Obs,
 			Health:        cfg.Health,
 		}),
-		store: deltasync.New(probed, cipher, deltasync.Config{Device: cfg.Device}),
+		// LazyBase: the client never needs the store's full-image encode
+		// on commits that don't rotate — with event-driven passes the
+		// commit rate goes up and the per-commit cost must stay
+		// O(changes), not O(folder).
+		store: deltasync.New(probed, cipher, deltasync.Config{
+			Device: cfg.Device, LazyBase: true, Obs: cfg.Obs,
+		}),
 		locks: qlock.New(probed, qlock.Config{
 			Device: cfg.Device,
 			Expiry: cfg.LockExpiry,

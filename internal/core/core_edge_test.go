@@ -214,7 +214,7 @@ func TestRelocateCommitRecordsReliabilityPlacements(t *testing.T) {
 	syncOK(t, a)
 	img := a.Image()
 	params := a.Params()
-	for id, seg := range img.Segments {
+	for id, seg := range img.AllSegments() {
 		perCloud := map[string]int{}
 		for _, b := range seg.Blocks {
 			perCloud[b.CloudID]++

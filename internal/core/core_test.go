@@ -493,7 +493,7 @@ func TestRemoveCloudRebalances(t *testing.T) {
 	}
 	// The image must no longer reference the removed cloud.
 	img := a.Image()
-	for _, seg := range img.Segments {
+	for _, seg := range img.AllSegments() {
 		for _, b := range seg.Blocks {
 			if b.CloudID == "c4" {
 				t.Fatalf("segment %s still references removed cloud", seg.ID)
@@ -539,7 +539,8 @@ func TestRemoveCloudDropsFairPlacedReferences(t *testing.T) {
 	names := []string{"c0", "c1", "c2", "c3", "c4"}
 	var rels []*meta.Change
 	for _, segID := range sortedSegmentIDs(img) {
-		updated := img.Segments[segID].Clone()
+		cur, _ := img.Segment(segID)
+		updated := cur.Clone()
 		updated.Blocks = nil
 		for i := 0; i < 9; i++ {
 			updated.AddBlock(i, names[i%5])
@@ -560,7 +561,7 @@ func TestRemoveCloudDropsFairPlacedReferences(t *testing.T) {
 	if err := a.SetClouds(ctxT(t), clouds); err != nil {
 		t.Fatal(err)
 	}
-	for _, seg := range a.Image().Segments {
+	for _, seg := range a.Image().AllSegments() {
 		for _, b := range seg.Blocks {
 			if b.CloudID == "c4" {
 				t.Fatalf("segment %s still references the removed cloud", seg.ID)

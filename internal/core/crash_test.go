@@ -94,7 +94,7 @@ func auditBlocks(t *testing.T, r *rig, img *meta.Image) {
 				t.Errorf("%s: unparseable block file %q", st.Name(), p)
 				continue
 			}
-			seg := img.Segments[segID]
+			seg, _ := img.Segment(segID)
 			if seg == nil || !seg.HasBlock(blockID, st.Name()) {
 				t.Errorf("%s: unreferenced block %s survives recovery", st.Name(), p)
 			}

@@ -30,7 +30,7 @@ func (c *Client) chunkFile(info localfs.FileInfo, data []byte) (*meta.Snapshot, 
 	for _, s := range segs {
 		id := s.ID()
 		snap.SegmentIDs = append(snap.SegmentIDs, id)
-		if existing, ok := known.Segments[id]; ok && len(existing.Blocks) >= c.params.K {
+		if existing, ok := known.Segment(id); ok && len(existing.Blocks) >= c.params.K {
 			// Dedup: content already in the multi-cloud. Cache the
 			// segment view without copying — it aliases the file
 			// buffer, which every caller hands over as a fresh,
@@ -152,13 +152,17 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 		// One pipelined batch, availability-first in file order: the
 		// dispatcher returns (and timestamps) the moment every
 		// segment has K blocks up, draining stragglers afterwards.
+		// Availability is monotone (blocks only accumulate), so the
+		// check resumes from the first plan not yet available instead
+		// of rescanning all of them — the dispatcher calls it per
+		// landed block, and a rescan would cost O(blocks × segments)
+		// on a large commit.
+		availCursor := 0
 		allAvailable := func() bool {
-			for _, p := range session.plans {
-				if !p.plan.Available() {
-					return false
-				}
+			for availCursor < len(session.plans) && session.plans[availCursor].plan.Available() {
+				availCursor++
 			}
-			return true
+			return availCursor == len(session.plans)
 		}
 		uploadedTotal := func() int {
 			total := 0
@@ -428,7 +432,7 @@ func (c *Client) fetchFile(ctx context.Context, img *meta.Image, snap *meta.Snap
 	var items []transfer.DownloadItem
 	var plans []*sched.DownloadPlan
 	for i, id := range snap.SegmentIDs {
-		seg, ok := img.Segments[id]
+		seg, ok := img.Segment(id)
 		if !ok {
 			return nil, fmt.Errorf("core: file %s references unknown segment %s", snap.Path, id)
 		}

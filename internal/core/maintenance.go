@@ -39,7 +39,7 @@ func (c *Client) TrimOverProvisioned(ctx context.Context) (int, error) {
 	}
 	var deletions []deletion
 	for _, segID := range sortedSegmentIDs(img) {
-		seg := img.Segments[segID]
+		seg, _ := img.Segment(segID)
 		perCloud := make(map[string][]int)
 		for _, b := range seg.Blocks {
 			perCloud[b.CloudID] = append(perCloud[b.CloudID], b.BlockID)
@@ -119,7 +119,7 @@ func (c *Client) GCOrphanBlocks(ctx context.Context) (int, error) {
 			if !ok {
 				continue
 			}
-			if _, known := img.Segments[segID]; known {
+			if _, known := img.Segment(segID); known {
 				continue
 			}
 			path := c.engine.BlockDir() + "/" + e.Name
@@ -166,7 +166,7 @@ func (c *Client) Fsck(ctx context.Context) (atRisk []string, err error) {
 		}
 	}
 	for _, segID := range sortedSegmentIDs(img) {
-		seg := img.Segments[segID]
+		seg, _ := img.Segment(segID)
 		live := 0
 		for _, b := range seg.Blocks {
 			if present[b.CloudID+"/"+meta.BlockName(segID, b.BlockID)] {

@@ -26,7 +26,7 @@ func TestTrimOverProvisionedReclaimsSpace(t *testing.T) {
 	img := a.Image()
 	fair := a.Params().FairShare()
 	over := 0
-	for _, seg := range img.Segments {
+	for _, seg := range img.AllSegments() {
 		perCloud := map[string]int{}
 		for _, b := range seg.Blocks {
 			perCloud[b.CloudID]++

@@ -59,7 +59,7 @@ func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) err
 
 	var relocates []*meta.Change
 	for _, segID := range sortedSegmentIDs(img) {
-		seg := img.Segments[segID]
+		seg, _ := img.Segment(segID)
 		placement := make(map[int]string, len(seg.Blocks))
 		for _, b := range seg.Blocks {
 			placement[b.BlockID] = b.CloudID
@@ -104,7 +104,9 @@ func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) err
 	if err != nil {
 		return err
 	}
-	newStore := deltasync.New(newClouds, cipher, deltasync.Config{Device: c.cfg.Device})
+	newStore := deltasync.New(newClouds, cipher, deltasync.Config{
+		Device: c.cfg.Device, LazyBase: true, Obs: c.cfg.Obs,
+	})
 	if _, err := newStore.Fetch(ctx); err != nil {
 		return err
 	}
@@ -206,8 +208,8 @@ func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
 }
 
 func sortedSegmentIDs(img *meta.Image) []string {
-	out := make([]string, 0, len(img.Segments))
-	for id := range img.Segments {
+	out := make([]string, 0, img.NumSegments())
+	for id := range img.AllSegments() {
 		out = append(out, id)
 	}
 	sort.Strings(out)

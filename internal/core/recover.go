@@ -202,7 +202,7 @@ func (c *Client) recoverUpload(ctx context.Context, in *journal.Intent, img *met
 
 	adopted := 0
 	for segID, locs := range surveyed {
-		pool := img.Segments[segID]
+		pool, _ := img.Segment(segID)
 		for _, loc := range locs {
 			switch {
 			case pool != nil && pool.HasBlock(loc.BlockID, loc.CloudID):

@@ -40,10 +40,42 @@ type SyncReport struct {
 // in the ChangedFileList. It is called by SyncOnce but is exported so
 // tests and tools can drive detection explicitly.
 func (c *Client) ScanLocal() error {
-	events, err := c.scanner.Scan()
+	_, _, err := c.scanFull()
+	return err
+}
+
+// scanFull walks the whole folder and records every detected change;
+// it returns the number of files examined and changes recorded.
+func (c *Client) scanFull() (statted, recorded int, err error) {
+	events, statted, err := c.scanner.ScanAll()
 	if err != nil {
-		return fmt.Errorf("core: scanning folder: %w", err)
+		return statted, 0, fmt.Errorf("core: scanning folder: %w", err)
 	}
+	recorded, err = c.recordEvents(events)
+	return statted, recorded, err
+}
+
+// scanDirty stats only the given paths — the dirty set accumulated
+// from watcher notifications — and records the real changes among
+// them. Cost is O(len(paths)) regardless of folder size.
+func (c *Client) scanDirty(paths []string) (statted, recorded int, err error) {
+	events, statted, err := c.scanner.ScanDirty(paths)
+	if err != nil {
+		return statted, 0, fmt.Errorf("core: scanning dirty paths: %w", err)
+	}
+	recorded, err = c.recordEvents(events)
+	return statted, recorded, err
+}
+
+// recordEvents converts scanner events into ChangedFileList entries.
+// Modified events are guarded against spurious mtime changes
+// (touch(1), editors rewriting identical bytes): the re-chunked
+// content is compared against the committed snapshot, and an
+// identical file records nothing — re-uploading it would waste a
+// commit and a metadata version. Skips are counted under
+// scan.spurious_mtime.
+func (c *Client) recordEvents(events []localfs.Event) (int, error) {
+	recorded := 0
 	for _, ev := range events {
 		switch ev.Kind {
 		case localfs.Added, localfs.Modified:
@@ -52,20 +84,25 @@ func (c *Client) ScanLocal() error {
 				if errors.Is(err, localfs.ErrNotExist) {
 					continue // deleted between scan and read
 				}
-				return err
+				return recorded, err
 			}
 			snap, segs := c.chunkFile(ev.Info, data)
 			typ := meta.ChangeAdd
 			if ev.Kind == localfs.Modified {
 				typ = meta.ChangeEdit
+				if known := c.lastImage().Lookup(ev.Info.Path).Current(); snap.ContentEquals(known) {
+					c.cfg.Obs.Counter("scan.spurious_mtime").Inc()
+					continue
+				}
 			}
 			err = c.changes.Record(&meta.Change{
 				Type: typ, Path: ev.Info.Path,
 				Snapshot: snap, Segments: segs, Time: ev.Info.ModTime,
 			})
 			if err != nil {
-				return err
+				return recorded, err
 			}
+			recorded++
 		case localfs.Removed:
 			// Stamp the scan-observed time: the tombstone committed for
 			// this delete carries it, and a zero time would make a
@@ -74,11 +111,23 @@ func (c *Client) ScanLocal() error {
 			if err := c.changes.Record(&meta.Change{
 				Type: meta.ChangeDelete, Path: ev.Info.Path, Time: c.cfg.Clock.Now(),
 			}); err != nil {
-				return err
+				return recorded, err
 			}
+			recorded++
 		}
 	}
-	return nil
+	return recorded, nil
+}
+
+// observeScan records one scan's control-plane cost in the obs
+// histograms that the sync-pass benchmark and operators read.
+func (c *Client) observeScan(elapsed time.Duration, statted, recorded int) {
+	if c.cfg.Obs == nil {
+		return
+	}
+	c.cfg.Obs.Histogram("sync.pass.scan_ms").Observe(float64(elapsed) / float64(time.Millisecond))
+	c.cfg.Obs.Histogram("sync.pass.files_statted").Observe(float64(statted))
+	c.cfg.Obs.Histogram("sync.pass.changes").Observe(float64(recorded))
 }
 
 // SyncOnce runs one pass of the paper's Algorithm 1 (SyncMetadata),
@@ -93,42 +142,149 @@ func (c *Client) ScanLocal() error {
 //     the local folder (downloading any K blocks per segment).
 func (c *Client) SyncOnce(ctx context.Context) (SyncReport, error) {
 	var report SyncReport
-	if err := c.ScanLocal(); err != nil {
-		return report, err
-	}
-	before := c.lastImage()
-
-	if !c.changes.Empty() {
-		if err := c.commitLocal(ctx, &report); err != nil {
-			return report, err
-		}
-	} else {
-		pending, err := c.store.CheckRemote(ctx)
-		if err != nil {
-			return report, err
-		}
-		if pending {
-			if _, err := c.store.Fetch(ctx); err != nil {
-				return report, err
-			}
-		}
-	}
-
-	// Apply whatever is newly committed to the local folder.
-	after := c.store.Cached()
-	n, err := c.applyCloudUpdate(ctx, before, after)
+	scanStart := c.cfg.Clock.Now()
+	statted, recorded, err := c.scanFull()
 	if err != nil {
 		return report, err
 	}
-	report.CloudChanges = n
+	c.observeScan(c.cfg.Clock.Now().Sub(scanStart), statted, recorded)
+	err = c.syncPass(ctx, &report, true)
+	return report, err
+}
+
+// SyncDirty is the event-driven counterpart of SyncOnce: it scans
+// only the given dirty paths and commits whatever real changes they
+// contain. It does not poll the clouds when there is nothing to
+// commit — remote updates are the remote observer's job (SyncRemote)
+// — so an over-reporting watcher costs a few stats, not a network
+// round-trip. Pass cost is O(len(paths) + changes), independent of
+// folder size.
+func (c *Client) SyncDirty(ctx context.Context, paths []string) (SyncReport, error) {
+	var report SyncReport
+	scanStart := c.cfg.Clock.Now()
+	statted, recorded, err := c.scanDirty(paths)
+	if err != nil {
+		return report, err
+	}
+	c.observeScan(c.cfg.Clock.Now().Sub(scanStart), statted, recorded)
+	if c.changes.Empty() {
+		// Nothing real changed (or everything was suppressed): the pass
+		// ends here, touching neither the network nor the image.
+		report.Version = c.lastImage().Version
+		return report, nil
+	}
+	err = c.syncPass(ctx, &report, false)
+	return report, err
+}
+
+// SyncRemote runs the remote half of a pass: poll the version stamps,
+// refresh the cached metadata if a commit is pending, and apply it to
+// the local folder. No local scan happens; pending local changes from
+// an earlier failed pass are still committed first, since committing
+// under the lock subsumes the refresh.
+func (c *Client) SyncRemote(ctx context.Context) (SyncReport, error) {
+	var report SyncReport
+	err := c.syncPass(ctx, &report, true)
+	return report, err
+}
+
+// syncPass is the shared tail of every sync variant: commit pending
+// local changes if any (optionally polling and refreshing from the
+// clouds first when there are none), then apply whatever is newly
+// committed to the local folder. When nothing was committed anywhere,
+// the pass is a no-op that never materializes or diffs an image —
+// the property that makes event-driven passes O(changes).
+func (c *Client) syncPass(ctx context.Context, report *SyncReport, pollRemote bool) error {
+	before := c.lastImage()
+
+	if !c.changes.Empty() {
+		if err := c.commitLocal(ctx, report); err != nil {
+			return err
+		}
+	} else if pollRemote {
+		if _, err := c.store.Refresh(ctx); err != nil {
+			return err
+		}
+	}
+
+	after := c.store.CachedShared()
 	report.Version = after.Version
+	if after.Version == before.Version && after.Device == before.Device {
+		// Nothing new, locally or remotely. Skip the apply/GC machinery
+		// (both are O(folder)) and leave the checkpoint clock alone.
+		return nil
+	}
+	diff, gcPaths := c.diffForApply(before, after)
+	n, err := c.applyCloudUpdate(ctx, before, after, diff)
+	if err != nil {
+		return err
+	}
+	report.CloudChanges = n
 	c.setLast(after)
-	c.gcSegments(ctx, before, after)
+	c.gcSegments(ctx, before, after, gcPaths)
 	// Checkpoint so a restarted client resumes from this state
 	// instead of rediscovering the folder. Best effort: a failed
 	// checkpoint only costs restart efficiency, not correctness.
+	c.maybeCheckpoint()
+	return nil
+}
+
+// diffForApply computes the per-path difference between two cached
+// images. When the store's version chain covers the (before, after]
+// span, only the paths named by the chain's change records are
+// compared — O(changes in the span) instead of the O(folder) tree
+// walk of meta.DiffImages, which is what keeps applying passes flat
+// as the folder grows. The second result is the garbage-collection
+// candidate set: the unique file paths the chain reported changed
+// (including ones whose current content ended up equal — their entry
+// may still have shed segment references), or nil when the chain did
+// not cover the span and the caller must consider every path.
+func (c *Client) diffForApply(before, after *meta.Image) (meta.Diff, []string) {
+	if after.Version > before.Version {
+		if changes, ok := c.store.ChangesSince(before.Version, after.Version); ok {
+			c.cfg.Obs.Counter("sync.diff.chain").Inc()
+			d := make(meta.Diff)
+			seen := make(map[string]bool, len(changes))
+			var paths []string
+			for _, ch := range changes {
+				if ch.Type == meta.ChangeRelocate || seen[ch.Path] {
+					continue
+				}
+				seen[ch.Path] = true
+				paths = append(paths, ch.Path)
+				b := before.Lookup(ch.Path).Current()
+				a := after.Lookup(ch.Path).Current()
+				if b.ContentEquals(a) {
+					continue
+				}
+				d[ch.Path] = meta.DiffEntry{Path: ch.Path, Before: b, After: a}
+			}
+			return d, paths
+		}
+	}
+	c.cfg.Obs.Counter("sync.diff.full").Inc()
+	return meta.DiffImages(before, after), nil
+}
+
+// maybeCheckpoint persists the client state unless a checkpoint
+// happened within CheckpointInterval — SaveState serializes the whole
+// image and baseline (O(folder)), which would dominate event-driven
+// passes if run after every small commit.
+func (c *Client) maybeCheckpoint() {
+	interval := c.cfg.CheckpointInterval
+	now := c.cfg.Clock.Now()
+	if interval > 0 {
+		c.mu.Lock()
+		due := c.lastCheckpoint.IsZero() || now.Sub(c.lastCheckpoint) >= interval
+		if due {
+			c.lastCheckpoint = now
+		}
+		c.mu.Unlock()
+		if !due {
+			return
+		}
+	}
 	_ = c.SaveState()
-	return report, nil
 }
 
 // commitLocal commits pending local changes under the quorum lock:
@@ -175,9 +331,11 @@ func (c *Client) commitLocal(ctx context.Context, report *SyncReport) error {
 	// re-verifies against a live survey, so a lost update costs
 	// nothing; but an intact record lets operators see exactly what a
 	// crashed pass had achieved.
+	placements := make(map[string]map[int]string, len(session.plans))
 	for _, p := range session.plans {
-		_ = c.journal.UpdatePlacements(intentID, p.seg.ID, p.plan.Placement())
+		placements[p.seg.ID] = p.plan.Placement()
 	}
+	_ = c.journal.UpdatePlacementsBatch(intentID, placements)
 
 	commitStart := c.cfg.Clock.Now()
 	commitDone, err := c.commitUnderLock(ctx, &changes, report, true)
@@ -256,20 +414,16 @@ func (c *Client) commitUnderLock(ctx context.Context, changes *[]*meta.Change, r
 		return time.Time{}, ErrCrashInjected
 	}
 
-	pending, err := c.store.CheckRemote(ctx)
-	if err != nil {
+	// Refresh polls the cheap version stamps and catches up (delta-only
+	// when possible) only if a newer commit is pending.
+	if _, err := c.store.Refresh(ctx); err != nil {
 		return time.Time{}, err
 	}
-	if pending {
-		if _, err := c.store.Fetch(ctx); err != nil {
-			return time.Time{}, err
-		}
-	}
 	// Reconcile whenever the cached image is ahead of what this device
-	// has applied locally — not just when CheckRemote saw it first.
+	// has applied locally — not just when the refresh found it first.
 	// Recovery pre-fetches the image at startup, so a cloud update can
 	// already sit in the cache with nothing "pending" remotely.
-	if reconcile && c.store.Cached().Version > c.lastImage().Version {
+	if reconcile && c.store.Stamp().Version > c.lastImage().Version {
 		*changes, err = c.reconcile(ctx, *changes, report)
 		if err != nil {
 			return time.Time{}, err
@@ -305,8 +459,8 @@ func (c *Client) commitUnderLock(ctx context.Context, changes *[]*meta.Change, r
 // deduplicated segment we relied on) and re-uploads any that do not.
 func (c *Client) reconcile(ctx context.Context, changes []*meta.Change, report *SyncReport) ([]*meta.Change, error) {
 	vo := c.lastImage()
-	vc := c.store.Cached()
-	deltaC := meta.DiffImages(vo, vc)
+	vc := c.store.CachedShared() // read-only: diffed and consulted, never mutated
+	deltaC, _ := c.diffForApply(vo, vc)
 
 	var out []*meta.Change
 	for _, ch := range changes {
@@ -373,7 +527,7 @@ func (c *Client) reuploadMissingSegments(ctx context.Context, changes []*meta.Ch
 			if len(seg.Blocks) > 0 {
 				continue // we just uploaded it
 			}
-			if pool, ok := vc.Segments[seg.ID]; ok && len(pool.Blocks) >= seg.K {
+			if pool, ok := vc.Segment(seg.ID); ok && len(pool.Blocks) >= seg.K {
 				seg.Blocks = append([]meta.BlockLocation(nil), pool.Blocks...)
 				continue
 			}
@@ -410,9 +564,9 @@ func (c *Client) reuploadMissingSegments(ctx context.Context, changes []*meta.Ch
 // earliest file first, later files' blocks filling otherwise-idle
 // connections — and each file is assembled and written the moment its
 // last segment lands (the paper's availability-first pipeline, on the
-// receive side).
-func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (int, error) {
-	diff := meta.DiffImages(from, to)
+// receive side). The diff is precomputed by the caller (diffForApply)
+// so chain-covered passes never walk the whole image.
+func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image, diff meta.Diff) (int, error) {
 	applied := 0
 
 	// Journal the apply before the first folder mutation: a crash
@@ -508,7 +662,7 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 		}
 		f := &pendingFile{snap: after, parts: make([][]byte, len(after.SegmentIDs))}
 		for i, id := range after.SegmentIDs {
-			seg, ok := to.Segments[id]
+			seg, ok := to.Segment(id)
 			if !ok {
 				return applied, fmt.Errorf("core: file %s references unknown segment %s", path, id)
 			}
@@ -592,16 +746,55 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image) (in
 // from the pool between two committed images (their refcount reached
 // zero), and drops the local content cache for segments now safely
 // committed.
-func (c *Client) gcSegments(ctx context.Context, from, to *meta.Image) {
+//
+// paths narrows the work to the files that actually changed between
+// the images (from diffForApply's chain walk): only their entries can
+// have shed or gained segment references, so only their segments are
+// inspected — O(changes). nil paths means the span was not chain-
+// covered and both whole pools are compared, the O(folder) fallback.
+func (c *Client) gcSegments(ctx context.Context, from, to *meta.Image, paths []string) {
 	var committed []string
-	for id := range to.Segments {
-		committed = append(committed, id)
+	dead := make(map[string]*meta.Segment)
+	if paths == nil {
+		for id := range to.AllSegments() {
+			committed = append(committed, id)
+		}
+		for id, seg := range from.AllSegments() {
+			if _, alive := to.Segment(id); !alive {
+				dead[id] = seg
+			}
+		}
+	} else {
+		seen := make(map[string]bool)
+		for _, p := range paths {
+			if e := to.Lookup(p); e != nil {
+				for _, snap := range e.Snapshots {
+					for _, id := range snap.SegmentIDs {
+						if !seen[id] {
+							seen[id] = true
+							committed = append(committed, id)
+						}
+					}
+				}
+			}
+			// Every snapshot of the old entry, not just the current one:
+			// a conflict-retaining entry holds references beyond Current().
+			if e := from.Lookup(p); e != nil {
+				for _, snap := range e.Snapshots {
+					for _, id := range snap.SegmentIDs {
+						if _, alive := to.Segment(id); alive {
+							continue
+						}
+						if seg, ok := from.Segment(id); ok {
+							dead[id] = seg
+						}
+					}
+				}
+			}
+		}
 	}
 	c.dropSegmentCache(committed)
-	for id, seg := range from.Segments {
-		if _, alive := to.Segments[id]; alive {
-			continue
-		}
+	for id, seg := range dead {
 		placement := make(map[int]string, len(seg.Blocks))
 		for _, b := range seg.Blocks {
 			placement[b.BlockID] = b.CloudID
@@ -610,23 +803,3 @@ func (c *Client) gcSegments(ctx context.Context, from, to *meta.Image) {
 	}
 }
 
-// RunLoop runs SyncOnce every SyncInterval (the paper's τ) until the
-// context is cancelled, starting with one immediate pass — a
-// restarted device converges right away instead of sitting dark for
-// a full interval. Errors from individual passes are delivered to
-// onError (which may be nil) and do not stop the loop.
-func (c *Client) RunLoop(ctx context.Context, onError func(error)) {
-	for {
-		if ctx.Err() != nil {
-			return
-		}
-		if _, err := c.SyncOnce(ctx); err != nil && onError != nil {
-			onError(err)
-		}
-		select {
-		case <-ctx.Done():
-			return
-		case <-c.cfg.Clock.After(c.cfg.SyncInterval):
-		}
-	}
-}

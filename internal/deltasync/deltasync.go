@@ -31,11 +31,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"unidrive/internal/cloud"
 	"unidrive/internal/meta"
 	"unidrive/internal/metacrypt"
+	"unidrive/internal/obs"
 )
 
 // Remote metadata file names under Dir.
@@ -44,6 +47,31 @@ const (
 	deltaFile   = "delta"
 	versionFile = "version"
 )
+
+// chunkPrefix names frozen delta chunks: "delta.v%012d", where the
+// number is the version of the chunk's first record. Zero-padding
+// makes lexicographic order equal version order.
+const chunkPrefix = "delta.v"
+
+func chunkName(firstVersion int64) string {
+	return fmt.Sprintf("%s%012d", chunkPrefix, firstVersion)
+}
+
+// parseChunkName extracts the first-record version from a chunk
+// object name; ok is false for non-chunk names.
+func parseChunkName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, chunkPrefix) {
+		return 0, false
+	}
+	var v int64
+	for _, c := range name[len(chunkPrefix):] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	return v, true
+}
 
 // DefaultDir is the metadata directory on every cloud.
 const DefaultDir = ".unidrive/meta"
@@ -78,6 +106,26 @@ type Config struct {
 	// 10 KB.
 	LambdaFrac float64
 	LambdaMin  int
+	// ChunkBytes caps the active delta tail: when the sealed tail
+	// would exceed it, the tail is frozen into an immutable chunk
+	// object (delta.v<firstVersion>) uploaded once, and the tail
+	// restarts empty. Commits therefore re-encode and re-upload only
+	// the records since the last freeze — O(recent changes) — instead
+	// of the whole chain since the last base rotation, which grows
+	// with folder size (a single post-populate relocation commit can
+	// hold thousands of records). Default 64 KB.
+	ChunkBytes int
+	// LazyBase skips encoding and encrypting the full image on commits
+	// that do not rotate the base (the common case) — the dominant
+	// per-commit CPU cost once folders grow large. λ is then computed
+	// against the sealed size of the last fetched or rotated base, and
+	// a stale cloud needing repair triggers the encode on demand. With
+	// LazyBase set, CommitStats.BaseBytes and FullImageBytes are zero
+	// on non-rotating commits, so the delta-efficiency experiments run
+	// with it off.
+	LazyBase bool
+	// Obs receives store metrics; nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -89,6 +137,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.LambdaMin <= 0 {
 		c.LambdaMin = 10 * 1024
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 64 * 1024
 	}
 }
 
@@ -119,8 +170,16 @@ type Store struct {
 
 	mu      sync.Mutex
 	base    *meta.Image // last known base
-	records []Record    // last known delta records
+	records []Record    // last known delta records (frozen chunks + tail)
 	stamp   meta.VersionStamp
+	img     *meta.Image // materialized base+records; replaced, never mutated
+	baseLen int         // sealed size of base as last fetched/rotated, for λ under LazyBase
+	// frozen is the count of records already frozen into chunk
+	// objects; records[frozen:] is the active tail re-uploaded per
+	// commit. chunkBytes is the total sealed size of the frozen
+	// chunks, counted toward λ.
+	frozen     int
+	chunkBytes int
 }
 
 // New creates a metadata store over the given clouds. cipher encrypts
@@ -133,12 +192,14 @@ func New(clouds []cloud.Interface, cipher *metacrypt.Cipher, cfg Config) *Store 
 		panic("deltasync: empty device name")
 	}
 	cfg.fillDefaults()
-	return &Store{
+	s := &Store{
 		clouds: clouds,
 		cipher: cipher,
 		cfg:    cfg,
 		base:   meta.NewImage(),
 	}
+	s.img = s.materializeLocked()
+	return s
 }
 
 // Quorum returns the majority count for commits.
@@ -157,7 +218,20 @@ func (s *Store) Stamp() meta.VersionStamp {
 func (s *Store) Cached() *meta.Image {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.materializeLocked()
+	return s.img.Clone()
+}
+
+// CachedShared returns the last fetched/committed image without
+// copying. The returned image is shared and MUST be treated as
+// read-only: the store replaces it wholesale on every state change
+// and never mutates it in place, so a held reference stays internally
+// consistent. The event-driven sync loop uses this on its per-pass
+// hot path, where Cached's deep copy would reintroduce an O(folder)
+// cost per pass.
+func (s *Store) CachedShared() *meta.Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.img
 }
 
 // materializeLocked rebuilds the image from base + records.
@@ -236,9 +310,12 @@ func (s *Store) CheckRemote(ctx context.Context) (bool, error) {
 
 // cloudState is one cloud's fetched metadata.
 type cloudState struct {
-	base    *meta.Image
-	records []Record
-	stamp   meta.VersionStamp
+	base       *meta.Image
+	baseLen    int // sealed base size on the wire
+	records    []Record
+	frozen     int // records[:frozen] came from chunk objects
+	chunkBytes int // sealed size of those chunks
+	stamp      meta.VersionStamp
 }
 
 // fetchCloud reads and validates one cloud's metadata lineage.
@@ -261,7 +338,13 @@ func (s *Store) fetchCloud(ctx context.Context, c cloud.Interface) (*cloudState,
 		}
 	}
 
-	var records []Record
+	// The delta log is the frozen chunks (in version order — the
+	// zero-padded names sort that way) followed by the active tail.
+	chunks, chunkBytes, err := s.fetchChunks(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	var tail []Record
 	deltaData, err := c.Download(ctx, s.path(deltaFile))
 	switch {
 	case errors.Is(err, cloud.ErrNotFound):
@@ -269,27 +352,77 @@ func (s *Store) fetchCloud(ctx context.Context, c cloud.Interface) (*cloudState,
 	case err != nil:
 		return nil, fmt.Errorf("deltasync: fetching delta from %s: %w", c.Name(), err)
 	default:
-		records, err = s.decodeDelta(deltaData)
+		tail, err = s.decodeDelta(deltaData)
 		if err != nil {
 			return nil, fmt.Errorf("deltasync: delta from %s: %w", c.Name(), err)
 		}
 	}
 
-	// Validate lineage: records must chain from this base.
+	// Assemble and validate lineage: accepted records must chain from
+	// this base. Records of another lineage (chunks or a tail that
+	// survived a base rotation or repair) are ignored, and records at
+	// or below the accepted head are duplicates from an interrupted
+	// freeze (chunk uploaded, tail not yet emptied) — also skipped.
+	st := &cloudState{base: baseImg, baseLen: len(baseData), chunkBytes: chunkBytes}
 	expect := baseImg.Version
-	for _, r := range records {
-		if r.BaseVersion != baseImg.Version || r.Version != expect+1 {
-			return nil, fmt.Errorf("deltasync: %s has inconsistent lineage (base v%d, record v%d on base v%d)",
-				c.Name(), baseImg.Version, r.Version, r.BaseVersion)
+	for part, recs := range [][]Record{chunks, tail} {
+		for _, r := range recs {
+			if r.BaseVersion != baseImg.Version || r.Version <= expect {
+				continue
+			}
+			if r.Version != expect+1 {
+				return nil, fmt.Errorf("deltasync: %s has inconsistent lineage (base v%d, record v%d after v%d)",
+					c.Name(), baseImg.Version, r.Version, expect)
+			}
+			st.records = append(st.records, r)
+			expect = r.Version
+			if part == 0 {
+				st.frozen = len(st.records)
+			}
 		}
-		expect = r.Version
 	}
-	st := &cloudState{base: baseImg, records: records}
 	st.stamp = meta.VersionStamp{Device: baseImg.Device, Version: baseImg.Version}
-	if n := len(records); n > 0 {
-		st.stamp = meta.VersionStamp{Device: records[n-1].Device, Version: records[n-1].Version}
+	if n := len(st.records); n > 0 {
+		st.stamp = meta.VersionStamp{Device: st.records[n-1].Device, Version: st.records[n-1].Version}
 	}
 	return st, nil
+}
+
+// fetchChunks downloads every frozen chunk object on c, in version
+// order, and returns the concatenated records plus total sealed size.
+func (s *Store) fetchChunks(ctx context.Context, c cloud.Interface) ([]Record, int, error) {
+	entries, err := c.List(ctx, s.cfg.Dir)
+	if err != nil {
+		if errors.Is(err, cloud.ErrNotFound) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("deltasync: listing chunks on %s: %w", c.Name(), err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := parseChunkName(e.Name); ok {
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	var records []Record
+	var total int
+	for _, name := range names {
+		blob, err := c.Download(ctx, s.path(name))
+		if err != nil {
+			if errors.Is(err, cloud.ErrNotFound) {
+				continue // deleted between list and read (rotation racing)
+			}
+			return nil, 0, fmt.Errorf("deltasync: fetching chunk %s from %s: %w", name, c.Name(), err)
+		}
+		recs, err := s.decodeDelta(blob)
+		if err != nil {
+			return nil, 0, fmt.Errorf("deltasync: chunk %s from %s: %w", name, c.Name(), err)
+		}
+		records = append(records, recs...)
+		total += len(blob)
+	}
+	return records, total, nil
 }
 
 // Fetch refreshes the cached metadata from the clouds: it collects
@@ -323,11 +456,241 @@ func (s *Store) Fetch(ctx context.Context) (*meta.Image, error) {
 	}
 	s.mu.Lock()
 	s.base = best.base
+	s.baseLen = best.baseLen
 	s.records = best.records
+	s.frozen = best.frozen
+	s.chunkBytes = best.chunkBytes
 	s.stamp = best.stamp
-	img := s.materializeLocked()
+	s.img = s.materializeLocked()
+	img := s.img
 	s.mu.Unlock()
 	return img, nil
+}
+
+// Refresh brings the cache up to date with the clouds while moving as
+// few bytes as possible — the remote half of the event-driven sync
+// pipeline. It first polls the tiny version stamps (CheckRemote); when
+// nothing is pending the cached image is returned untouched. When a
+// newer commit is advertised it attempts an incremental catch-up: the
+// cached record log acts as a delta cursor into the remote version
+// chain, so downloading only the delta file and verifying that it
+// extends the cursor from the same base suffices. Only when that fails
+// (the base rotated, or the delta is unreachable) does it fall back to
+// a full Fetch.
+//
+// The returned image is shared (see CachedShared) and must be treated
+// as read-only.
+func (s *Store) Refresh(ctx context.Context) (*meta.Image, error) {
+	pending, err := s.CheckRemote(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if !pending {
+		s.cfg.Obs.Counter("deltasync.refresh.noop").Inc()
+		return s.CachedShared(), nil
+	}
+	if img, ok := s.refreshIncremental(ctx); ok {
+		s.cfg.Obs.Counter("deltasync.refresh.incremental").Inc()
+		return img, nil
+	}
+	s.cfg.Obs.Counter("deltasync.refresh.full").Inc()
+	return s.Fetch(ctx)
+}
+
+// refreshIncremental attempts a delta-only catch-up: download just the
+// active delta tail from the cloud advertising the newest stamp and
+// adopt it if it extends the cached records from the cached base.
+// When chunk freezes since the last poll opened a gap between the
+// cached head and the tail's first record, only the chunks covering
+// that gap are downloaded — never the base.
+func (s *Store) refreshIncremental(ctx context.Context) (*meta.Image, bool) {
+	// Rank reachable clouds by advertised version, newest first.
+	stamps := make([]meta.VersionStamp, len(s.clouds))
+	reachable := make([]bool, len(s.clouds))
+	var wg sync.WaitGroup
+	for i, c := range s.clouds {
+		wg.Add(1)
+		go func(i int, c cloud.Interface) {
+			defer wg.Done()
+			data, err := c.Download(ctx, s.path(versionFile))
+			if err != nil {
+				return
+			}
+			if st, err := meta.DecodeVersionStamp(data); err == nil {
+				stamps[i], reachable[i] = st, true
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	order := make([]int, 0, len(s.clouds))
+	for i := range s.clouds {
+		if reachable[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return stamps[order[a]].Version > stamps[order[b]].Version })
+
+	for _, i := range order {
+		c := s.clouds[i]
+		deltaData, err := c.Download(ctx, s.path(deltaFile))
+		if err != nil {
+			continue // cloud served the stamp but not the delta; try next
+		}
+		tail, err := s.decodeDelta(deltaData)
+		if err != nil {
+			return nil, false // corrupt delta: let Fetch's validation decide
+		}
+		s.mu.Lock()
+		lastV := s.stamp.Version
+		s.mu.Unlock()
+		var tailStart int64 // 0: no tail — everything is frozen
+		if len(tail) > 0 {
+			tailStart = tail[0].Version
+		}
+		records := tail
+		if len(tail) == 0 || tail[0].Version > lastV+1 {
+			// The records between our head and the tail were frozen
+			// into chunks since we last looked; backfill just those.
+			chunkRecs, ok := s.fetchChunksAfter(ctx, c, lastV)
+			if !ok {
+				return nil, false
+			}
+			records = append(chunkRecs, tail...)
+		}
+		if img, ok := s.adoptRecords(records, tailStart); ok {
+			return img, true
+		}
+		return nil, false // inconsistent with cursor (e.g. base rotated)
+	}
+	return nil, false
+}
+
+// fetchChunksAfter downloads the frozen chunks that may hold records
+// with versions beyond afterV: every chunk starting past afterV plus
+// the one straddling it. Returns ok=false when the listing or a
+// download fails (the caller falls back to a full Fetch).
+func (s *Store) fetchChunksAfter(ctx context.Context, c cloud.Interface, afterV int64) ([]Record, bool) {
+	entries, err := c.List(ctx, s.cfg.Dir)
+	if err != nil {
+		return nil, false
+	}
+	var starts []int64
+	for _, e := range entries {
+		if v, ok := parseChunkName(e.Name); ok {
+			starts = append(starts, v)
+		}
+	}
+	sort.Slice(starts, func(a, b int) bool { return starts[a] < starts[b] })
+	// Keep chunks from the last one starting at or before afterV+1.
+	lo := 0
+	for k, v := range starts {
+		if v <= afterV+1 {
+			lo = k
+		}
+	}
+	var records []Record
+	for _, v := range starts[lo:] {
+		blob, err := c.Download(ctx, s.path(chunkName(v)))
+		if err != nil {
+			return nil, false
+		}
+		recs, err := s.decodeDelta(blob)
+		if err != nil {
+			return nil, false
+		}
+		records = append(records, recs...)
+	}
+	return records, true
+}
+
+// adoptRecords extends the cached record chain with freshly
+// downloaded records. The cached chain acts as the delta cursor:
+// records at or below its head must agree with it (same device per
+// version — overlap from an interrupted freeze is deduplicated, a
+// diverging chain is rejected), records beyond it must chain
+// contiguously from the cached base. tailStart is the first version
+// of the remote active tail (0 when the tail was empty); everything
+// before it is known frozen, which moves the local freeze boundary so
+// this device's next commit re-uploads only the remote tail's worth
+// of records.
+func (s *Store) adoptRecords(records []Record, tailStart int64) (*meta.Image, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img := s.img
+	adopted := append([]Record(nil), s.records...)
+	expect := s.stamp.Version
+	for _, r := range records {
+		if r.BaseVersion != s.base.Version {
+			return nil, false // another lineage: the base rotated
+		}
+		if r.Version <= expect {
+			// Overlap with the cached chain: verify, then skip.
+			idx := int(r.Version - s.base.Version - 1)
+			if idx < 0 || idx >= len(adopted) || adopted[idx].Device != r.Device {
+				return nil, false
+			}
+			continue
+		}
+		if r.Version != expect+1 {
+			return nil, false // gap the chunks did not cover
+		}
+		// Apply COW, so an incremental catch-up costs O(new changes) —
+		// not a full replay.
+		next, err := img.ApplyCOW(r.Changes, r.Device)
+		if err != nil {
+			return nil, false // corrupt record; full Fetch will surface it
+		}
+		next.Version = r.Version
+		next.Device = r.Device
+		img = next
+		adopted = append(adopted, r)
+		expect = r.Version
+	}
+	if len(adopted) <= len(s.records) {
+		return nil, false // no progress (rotation empties the delta)
+	}
+	newFrozen := len(adopted)
+	if tailStart > 0 {
+		newFrozen = int(tailStart - s.base.Version - 1)
+	}
+	if newFrozen > len(adopted) {
+		newFrozen = len(adopted)
+	}
+	if newFrozen > s.frozen {
+		// Records moved into chunks remotely; account their sealed
+		// size toward λ. The exact chunk split is unknown, but the
+		// sealed size of the records is the same to within framing.
+		if blob, err := s.encodeDelta(adopted[s.frozen:newFrozen]); err == nil {
+			s.chunkBytes += len(blob)
+		}
+		s.frozen = newFrozen
+	}
+	s.records = adopted
+	last := adopted[len(adopted)-1]
+	s.stamp = meta.VersionStamp{Device: last.Device, Version: last.Version}
+	s.img = img
+	return s.img, true
+}
+
+// ChangesSince returns the concatenated committed changes with
+// versions in (from, to], in commit order, when the cached record
+// chain covers that whole span. ok=false means the span crosses a
+// base rotation (or references versions the chain does not hold) and
+// the caller must fall back to a full image diff. This is how
+// applying passes stay O(changes): the chain already names every
+// path that moved between two cached versions.
+func (s *Store) ChangesSince(from, to int64) (changes []*meta.Change, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if from < s.base.Version || to > s.stamp.Version || from > to {
+		return nil, false
+	}
+	for _, r := range s.records {
+		if r.Version > from && r.Version <= to {
+			changes = append(changes, r.Changes...)
+		}
+	}
+	return changes, true
 }
 
 // encodeDelta serializes and encrypts the record log as JSON lines.
@@ -384,6 +747,9 @@ func (s *Store) Commit(ctx context.Context, changes []*meta.Change) (CommitStats
 	}
 	s.mu.Lock()
 	prevStamp := s.stamp
+	prevBaseLen := s.baseLen
+	prevFrozen := s.frozen
+	prevChunkBytes := s.chunkBytes
 	rec := Record{
 		Version:     prevStamp.Version + 1,
 		Device:      s.cfg.Device,
@@ -391,29 +757,39 @@ func (s *Store) Commit(ctx context.Context, changes []*meta.Change) (CommitStats
 		Changes:     changes,
 	}
 	newRecords := append(append([]Record(nil), s.records...), rec)
-	newImage := func() *meta.Image {
-		img := s.base.Clone()
-		for _, r := range newRecords {
-			for _, ch := range r.Changes {
-				_ = img.Apply(ch, r.Device)
-			}
-			img.Version = r.Version
-			img.Device = r.Device
-		}
-		img.DropSegments(img.RecountRefs())
-		return img
-	}()
+	// COW apply onto the cached image: O(changes), not O(folder) — the
+	// cached image was itself produced by materialization or a previous
+	// COW apply, so its refcounts are exact. The slow full replay
+	// survives only in materializeLocked (fetch paths).
+	newImage, err := s.img.ApplyCOW(changes, s.cfg.Device)
+	if err != nil {
+		s.mu.Unlock()
+		return CommitStats{}, fmt.Errorf("deltasync: commit: %w", err)
+	}
+	newImage.Version = rec.Version
+	newImage.Device = rec.Device
 	s.mu.Unlock()
 
-	fullImageData, err := newImage.Encode()
-	if err != nil {
-		return CommitStats{}, err
-	}
-	sealedBase, err := s.cipher.Seal(fullImageData)
-	if err != nil {
-		return CommitStats{}, fmt.Errorf("deltasync: encrypting base: %w", err)
-	}
-	deltaBlob, err := s.encodeDelta(newRecords)
+	// Encoding and encrypting the full image is O(folder); under
+	// LazyBase it runs only when something actually needs the bytes
+	// (rotation, or repairing a stale cloud).
+	sealBase := sync.OnceValues(func() ([]byte, error) {
+		fullImageData, err := newImage.Encode()
+		if err != nil {
+			return nil, err
+		}
+		sealed, err := s.cipher.Seal(fullImageData)
+		if err != nil {
+			return nil, fmt.Errorf("deltasync: encrypting base: %w", err)
+		}
+		return sealed, nil
+	})
+	// Only the active tail — the records since the last chunk freeze —
+	// is encoded and uploaded. The frozen prefix of the chain already
+	// sits in immutable chunk objects, so a commit costs O(recent
+	// changes), not O(chain since rotation).
+	tail := newRecords[prevFrozen:]
+	tailBlob, err := s.encodeDelta(tail)
 	if err != nil {
 		return CommitStats{}, err
 	}
@@ -422,18 +798,50 @@ func (s *Store) Commit(ctx context.Context, changes []*meta.Change) (CommitStats
 		return CommitStats{}, err
 	}
 
-	lambda := int(s.cfg.LambdaFrac * float64(len(sealedBase)))
+	baseLen := prevBaseLen
+	if !s.cfg.LazyBase {
+		sealed, err := sealBase()
+		if err != nil {
+			return CommitStats{}, err
+		}
+		baseLen = len(sealed)
+	}
+	lambda := int(s.cfg.LambdaFrac * float64(baseLen))
 	if lambda < s.cfg.LambdaMin {
 		lambda = s.cfg.LambdaMin
 	}
-	rotate := len(deltaBlob) > lambda
+	// λ measures the whole delta — frozen chunks plus tail — against
+	// the base, exactly as before chunking.
+	rotate := prevChunkBytes+len(tailBlob) > lambda
+	// A tail past the chunk cap is frozen with this commit: the tail
+	// (including the new record) is uploaded once as an immutable
+	// chunk and the active tail restarts empty.
+	freeze := !rotate && len(tailBlob) > s.cfg.ChunkBytes
+	var chunk string
+	if freeze {
+		chunk = chunkName(tail[0].Version)
+	}
+	emptyTail, err := s.encodeDelta(nil)
+	if err != nil {
+		return CommitStats{}, err
+	}
 
 	stats := CommitStats{
-		Version:        rec.Version,
-		BaseRotated:    rotate,
-		DeltaBytes:     len(deltaBlob),
-		BaseBytes:      len(sealedBase),
-		FullImageBytes: len(sealedBase),
+		Version:     rec.Version,
+		BaseRotated: rotate,
+		DeltaBytes:  len(tailBlob),
+	}
+	newBaseLen := prevBaseLen
+	if rotate || !s.cfg.LazyBase {
+		sealed, err := sealBase()
+		if err != nil {
+			return stats, err
+		}
+		stats.BaseBytes = len(sealed)
+		stats.FullImageBytes = len(sealed)
+		if rotate {
+			newBaseLen = len(sealed)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -442,7 +850,7 @@ func (s *Store) Commit(ctx context.Context, changes []*meta.Change) (CommitStats
 		wg.Add(1)
 		go func(i int, c cloud.Interface) {
 			defer wg.Done()
-			okCh[i] = s.commitToCloud(ctx, c, prevStamp, rotate, sealedBase, deltaBlob, stampData)
+			okCh[i] = s.commitToCloud(ctx, c, prevStamp, rotate, freeze, chunk, sealBase, tailBlob, emptyTail, stampData)
 		}(i, c)
 	}
 	wg.Wait()
@@ -456,23 +864,41 @@ func (s *Store) Commit(ctx context.Context, changes []*meta.Change) (CommitStats
 	}
 
 	s.mu.Lock()
-	if rotate {
+	switch {
+	case rotate:
 		s.base = newImage
 		s.records = nil
-	} else {
+		s.frozen = 0
+		s.chunkBytes = 0
+	case freeze:
+		s.records = newRecords
+		s.frozen = len(newRecords)
+		s.chunkBytes = prevChunkBytes + len(tailBlob)
+	default:
 		s.records = newRecords
 	}
+	s.baseLen = newBaseLen
 	s.stamp = meta.VersionStamp{Device: s.cfg.Device, Version: rec.Version}
+	s.img = newImage
 	s.mu.Unlock()
 	return stats, nil
 }
 
 // commitToCloud writes this commit to one cloud. A cloud that is
 // up-to-date (its stamp equals prevStamp) receives only the delta
-// (or, on rotation, the new base); a stale or empty cloud receives a
-// full repair (base + empty delta).
+// tail (or, on a freeze, the frozen chunk plus an empty tail; on
+// rotation, the new base); a stale or empty cloud receives a full
+// repair (base + empty delta). sealBase produces the sealed full
+// image on demand (memoized), so commits that write no base never pay
+// for encoding one.
+//
+// Write order is crash-safe: chunk before tail before stamp, so a
+// partial commit leaves at worst an extra chunk whose records overlap
+// the old tail — readers deduplicate by version — and base writes
+// precede chunk deletion, so leftover chunks of the old lineage are
+// filtered by their BaseVersion until the next rotation removes them.
 func (s *Store) commitToCloud(ctx context.Context, c cloud.Interface, prevStamp meta.VersionStamp,
-	rotate bool, sealedBase, deltaBlob, stampData []byte) bool {
+	rotate, freeze bool, chunk string, sealBase func() ([]byte, error), tailBlob, emptyTail, stampData []byte) bool {
 
 	upToDate := false
 	if data, err := c.Download(ctx, s.path(versionFile)); err == nil {
@@ -483,24 +909,47 @@ func (s *Store) commitToCloud(ctx context.Context, c cloud.Interface, prevStamp 
 		upToDate = true // brand-new cloud at genesis
 	}
 
-	writeBase := rotate || !upToDate
-	if writeBase {
-		if err := c.Upload(ctx, s.path(baseFile), sealedBase); err != nil {
-			return false
-		}
-		emptyDelta, err := s.encodeDelta(nil)
+	switch {
+	case rotate || !upToDate:
+		sealedBase, err := sealBase()
 		if err != nil {
 			return false
 		}
-		if err := c.Upload(ctx, s.path(deltaFile), emptyDelta); err != nil {
+		if err := c.Upload(ctx, s.path(baseFile), sealedBase); err != nil {
 			return false
 		}
-	} else {
-		if err := c.Upload(ctx, s.path(deltaFile), deltaBlob); err != nil {
+		// Chunks of the replaced lineage are dead: best-effort removal;
+		// survivors are ignored by readers (BaseVersion mismatch).
+		s.deleteChunks(ctx, c)
+		if err := c.Upload(ctx, s.path(deltaFile), emptyTail); err != nil {
+			return false
+		}
+	case freeze:
+		if err := c.Upload(ctx, s.path(chunk), tailBlob); err != nil {
+			return false
+		}
+		if err := c.Upload(ctx, s.path(deltaFile), emptyTail); err != nil {
+			return false
+		}
+	default:
+		if err := c.Upload(ctx, s.path(deltaFile), tailBlob); err != nil {
 			return false
 		}
 	}
 	return c.Upload(ctx, s.path(versionFile), stampData) == nil
+}
+
+// deleteChunks removes every frozen chunk object on c, best effort.
+func (s *Store) deleteChunks(ctx context.Context, c cloud.Interface) {
+	entries, err := c.List(ctx, s.cfg.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if _, ok := parseChunkName(e.Name); ok {
+			_ = c.Delete(ctx, s.path(e.Name))
+		}
+	}
 }
 
 func encodeRecord(r Record) ([]byte, error) {

@@ -82,7 +82,7 @@ func TestCommitAndFetchRoundTrip(t *testing.T) {
 	if img.Lookup("a.txt").Current() == nil {
 		t.Fatal("fetched image missing committed file")
 	}
-	if _, ok := img.Segments["s1"]; !ok {
+	if _, ok := img.Segment("s1"); !ok {
 		t.Fatal("fetched image missing segment pool entry")
 	}
 }

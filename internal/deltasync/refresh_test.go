@@ -1,0 +1,306 @@
+package deltasync
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/meta"
+	"unidrive/internal/obs"
+)
+
+// imagesEqual compares the parts of two images that sync correctness
+// depends on.
+func imagesEqual(a, b *meta.Image) bool {
+	if a.Version != b.Version || a.Device != b.Device ||
+		a.NumFiles() != b.NumFiles() || a.NumSegments() != b.NumSegments() {
+		return false
+	}
+	for p := range a.AllFiles() {
+		sa, sb := a.Lookup(p).Current(), b.Lookup(p).Current()
+		if (sa == nil) != (sb == nil) {
+			return false
+		}
+		if sa != nil && !sa.ContentEquals(sb) {
+			return false
+		}
+	}
+	for id := range a.AllSegments() {
+		if _, ok := b.Segment(id); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRefreshNoopWhenNothingPending(t *testing.T) {
+	r := newRig(3)
+	s := r.store(t, "d1", Config{})
+	if _, err := s.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.cfg.Obs = reg
+	img, err := s.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Version != 1 {
+		t.Fatalf("version = %d, want 1", img.Version)
+	}
+	if n := reg.Counter("deltasync.refresh.noop").Value(); n != 1 {
+		t.Errorf("noop counter = %d, want 1", n)
+	}
+	if n := reg.Counter("deltasync.refresh.full").Value(); n != 0 {
+		t.Errorf("full counter = %d, want 0", n)
+	}
+}
+
+func TestRefreshIncrementalSkipsBaseDownload(t *testing.T) {
+	r := newRig(3)
+	writer := r.store(t, "dW", Config{})
+	// Establish a shared base: commit once, then rotate so every cloud
+	// holds a non-trivial base file.
+	if _, err := writer.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reader adopts the current state, then the writer commits more.
+	reg := obs.NewRegistry()
+	recorders := make([]*cloudsim.Recorder, len(r.stores))
+	clouds := make([]cloud.Interface, len(r.stores))
+	for i, st := range r.stores {
+		recorders[i] = cloudsim.NewRecorder(cloudsim.NewDirect(st))
+		clouds[i] = recorders[i]
+	}
+	reader := New(clouds, testCipher(t), Config{Device: "dR", Obs: reg})
+	if _, err := reader.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 2; i <= 3; i++ {
+		if _, err := writer.Commit(context.Background(), []*meta.Change{
+			addChange(fmt.Sprintf("f%d.txt", i), fmt.Sprintf("s%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reset byte counters, then refresh: only version + delta files may
+	// move, never the base.
+	var beforeBase int
+	for _, rec := range recorders {
+		for _, p := range rec.UploadedPaths() {
+			_ = p
+		}
+		beforeBase += int(rec.PrefixUploadBytes("")) // uploads: none expected anyway
+	}
+	img, err := reader.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Version != 3 {
+		t.Fatalf("refreshed version = %d, want 3", img.Version)
+	}
+	if img.Lookup("f3.txt").Current() == nil {
+		t.Fatal("refresh missed committed file")
+	}
+	if n := reg.Counter("deltasync.refresh.incremental").Value(); n != 1 {
+		t.Errorf("incremental counter = %d, want 1", n)
+	}
+	if n := reg.Counter("deltasync.refresh.full").Value(); n != 0 {
+		t.Errorf("full counter = %d, want 0", n)
+	}
+	// Equivalence: a fresh full Fetch on another store sees the same image.
+	other := r.store(t, "dX", Config{})
+	full, err := other.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(img, full) {
+		t.Error("incremental refresh diverged from full fetch")
+	}
+}
+
+func TestRefreshFallsBackToFullAfterRotation(t *testing.T) {
+	r := newRig(3)
+	// Tiny λ floor: every commit rotates the base.
+	writer := r.store(t, "dW", Config{LambdaMin: 1})
+	if _, err := writer.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	reader := r.store(t, "dR", Config{Obs: reg})
+	if _, err := reader.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Commit(context.Background(), []*meta.Change{addChange("b.txt", "s2")}); err != nil {
+		t.Fatal(err)
+	}
+
+	img, err := reader.Refresh(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Version != 2 || img.Lookup("b.txt").Current() == nil {
+		t.Fatalf("refresh after rotation: version %d", img.Version)
+	}
+	if n := reg.Counter("deltasync.refresh.full").Value(); n != 1 {
+		t.Errorf("full counter = %d, want 1", n)
+	}
+	if n := reg.Counter("deltasync.refresh.incremental").Value(); n != 0 {
+		t.Errorf("incremental counter = %d, want 0", n)
+	}
+}
+
+func TestCachedSharedMatchesCached(t *testing.T) {
+	r := newRig(3)
+	s := r.store(t, "d1", Config{})
+	if _, err := s.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")}); err != nil {
+		t.Fatal(err)
+	}
+	shared := s.CachedShared()
+	clone := s.Cached()
+	if !imagesEqual(shared, clone) {
+		t.Fatal("CachedShared and Cached disagree")
+	}
+	// The shared image must survive a subsequent commit unmutated.
+	if _, err := s.Commit(context.Background(), []*meta.Change{addChange("b.txt", "s2")}); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Version != 1 || shared.Lookup("b.txt").Current() != nil {
+		t.Error("held shared image was mutated by a later commit")
+	}
+	if s.CachedShared().Version != 2 {
+		t.Error("CachedShared not updated after commit")
+	}
+}
+
+func TestLazyBaseSkipsEncodeUntilRotation(t *testing.T) {
+	r := newRig(3)
+	lazy := r.store(t, "dL", Config{LazyBase: true, LambdaMin: 1024})
+
+	stats, err := lazy.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BaseRotated {
+		t.Fatal("first small commit unexpectedly rotated")
+	}
+	if stats.BaseBytes != 0 {
+		t.Errorf("lazy non-rotating commit encoded a base (%d bytes)", stats.BaseBytes)
+	}
+	// No cloud should hold a base file yet (genesis, no repair needed).
+	for _, st := range r.stores {
+		if _, err := cloudsim.NewDirect(st).Download(context.Background(), DefaultDir+"/base"); err == nil {
+			t.Fatal("lazy commit uploaded a base file")
+		}
+	}
+
+	// Push the delta past λ's floor so a later commit rotates.
+	pad := strings.Repeat("x", 64)
+	for i := 0; i < 12; i++ {
+		c := addChange(fmt.Sprintf("pad%02d-%s.txt", i, pad), fmt.Sprintf("sp%d", i))
+		if _, err := lazy.Commit(context.Background(), []*meta.Change{c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// By now the accumulated delta must have crossed λ and rotated.
+	rotated := false
+	for _, st := range r.stores {
+		if _, err := cloudsim.NewDirect(st).Download(context.Background(), DefaultDir+"/base"); err == nil {
+			rotated = true
+		}
+	}
+	if !rotated {
+		t.Fatal("delta never rotated into a base under LazyBase")
+	}
+
+	// Cross-device equivalence: a plain reader fetches the same state.
+	reader := r.store(t, "dR", Config{})
+	img, err := reader.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !imagesEqual(img, lazy.CachedShared()) {
+		t.Error("reader's fetched image diverges from lazy writer's cache")
+	}
+}
+
+func TestLazyBaseRepairsStaleCloud(t *testing.T) {
+	r := newRig(3)
+	lazy := r.store(t, "dL", Config{LazyBase: true})
+	if _, err := lazy.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")}); err != nil {
+		t.Fatal(err)
+	}
+	// Cloud 2 misses the next commit.
+	r.flaky[2].SetDown(true)
+	if _, err := lazy.Commit(context.Background(), []*meta.Change{addChange("b.txt", "s2")}); err != nil {
+		t.Fatal(err)
+	}
+	r.flaky[2].SetDown(false)
+	// The next commit must repair cloud 2 with a full base, which under
+	// LazyBase forces the deferred encode.
+	if _, err := lazy.Commit(context.Background(), []*meta.Change{addChange("c.txt", "s3")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloudsim.NewDirect(r.stores[2]).Download(context.Background(), DefaultDir+"/base"); err != nil {
+		t.Fatalf("stale cloud not repaired with a base: %v", err)
+	}
+	// A reader served only by the repaired cloud sees everything.
+	only2 := New([]cloud.Interface{cloudsim.NewDirect(r.stores[2])}, testCipher(t), Config{Device: "dR"})
+	img, err := only2.Fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"a.txt", "b.txt", "c.txt"} {
+		if img.Lookup(p).Current() == nil {
+			t.Errorf("repaired cloud missing %s", p)
+		}
+	}
+}
+
+func TestRefreshIncrementalDownloadsNoBase(t *testing.T) {
+	r := newRig(3)
+	writer := r.store(t, "dW", Config{})
+	if _, err := writer.Commit(context.Background(), []*meta.Change{addChange("a.txt", "s1")}); err != nil {
+		t.Fatal(err)
+	}
+
+	recorders := make([]*cloudsim.Recorder, len(r.stores))
+	clouds := make([]cloud.Interface, len(r.stores))
+	for i, st := range r.stores {
+		recorders[i] = cloudsim.NewRecorder(cloudsim.NewDirect(st))
+		clouds[i] = recorders[i]
+	}
+	reader := New(clouds, testCipher(t), Config{Device: "dR"})
+	if _, err := reader.Fetch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	baseDownloadsAfterFetch := totalDownloads(recorders)
+
+	if _, err := writer.Commit(context.Background(), []*meta.Change{addChange("b.txt", "s2")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.Refresh(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The incremental refresh downloads version stamps and one delta;
+	// the base files must not move again.
+	grew := totalDownloads(recorders) - baseDownloadsAfterFetch
+	// 3 stamps (CheckRemote) + 3 stamps (ranking) + 1 delta = 7 calls max.
+	if grew > 7 {
+		t.Errorf("incremental refresh made %d downloads, want <= 7", grew)
+	}
+}
+
+func totalDownloads(recorders []*cloudsim.Recorder) int {
+	n := 0
+	for _, r := range recorders {
+		n += r.Counts().Download
+	}
+	return n
+}

@@ -240,6 +240,38 @@ func (j *Journal) UpdatePlacements(id, segID string, placement map[int]string) e
 	return j.persistLocked()
 }
 
+// UpdatePlacementsBatch merges landed block placements for many
+// segments of an upload intent and persists the journal ONCE. Large
+// passes must use this instead of per-segment UpdatePlacements calls:
+// every persist rewrites the whole journal — including the intent's
+// full change batch — so N per-segment updates cost O(N·batch) bytes
+// of serialization where one batched update costs O(batch).
+func (j *Journal) UpdatePlacementsBatch(id string, placements map[string]map[int]string) error {
+	if len(placements) == 0 {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	in, ok := j.intents[id]
+	if !ok {
+		return fmt.Errorf("journal: no intent %s", id)
+	}
+	if in.Placements == nil {
+		in.Placements = make(map[string]map[int]string, len(placements))
+	}
+	for segID, placement := range placements {
+		merged := in.Placements[segID]
+		if merged == nil {
+			merged = make(map[int]string, len(placement))
+			in.Placements[segID] = merged
+		}
+		for b, c := range placement {
+			merged[b] = c
+		}
+	}
+	return j.persistLocked()
+}
+
 // MarkCommitted transitions an intent to StateCommitted at the given
 // metadata version and persists the journal.
 func (j *Journal) MarkCommitted(id string, version int64) error {

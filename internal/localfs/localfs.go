@@ -59,8 +59,9 @@ type Folder interface {
 
 // Mem is an in-memory Folder.
 type Mem struct {
-	mu    sync.RWMutex
-	files map[string]memFile
+	mu       sync.RWMutex
+	files    map[string]memFile
+	watchers []*memWatch
 }
 
 type memFile struct {
@@ -94,6 +95,7 @@ func (m *Mem) WriteFile(path string, data []byte, modTime time.Time) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.files[path] = memFile{data: append([]byte(nil), data...), modTime: modTime}
+	m.notifyLocked(path)
 	return nil
 }
 
@@ -102,6 +104,7 @@ func (m *Mem) Remove(path string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.files, path)
+	m.notifyLocked(path)
 	return nil
 }
 
@@ -448,9 +451,18 @@ func (s *Scanner) Baseline() []FileInfo {
 // Scan compares the folder against the previous scan and returns the
 // changes.
 func (s *Scanner) Scan() ([]Event, error) {
+	events, _, err := s.ScanAll()
+	return events, err
+}
+
+// ScanAll is Scan plus the number of files examined (every file in
+// the folder) — the denominator of the event-driven pipeline's win:
+// an incremental pass stats only dirty paths, a full pass stats all
+// of these.
+func (s *Scanner) ScanAll() ([]Event, int, error) {
 	infos, err := s.folder.ListAll()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	kept := infos[:0]
 	for _, fi := range infos {
@@ -469,17 +481,8 @@ func (s *Scanner) Scan() ([]Event, error) {
 
 	var events []Event
 	for path, fi := range current {
-		prev, existed := s.prev[path]
-		if sup, ok := s.suppress[path]; ok && !sup.removed &&
-			sup.size == fi.Size && sup.modTime.Equal(fi.ModTime) {
-			delete(s.suppress, path)
-			continue
-		}
-		switch {
-		case !existed:
-			events = append(events, Event{Kind: Added, Info: fi})
-		case prev.Size != fi.Size || !prev.ModTime.Equal(fi.ModTime):
-			events = append(events, Event{Kind: Modified, Info: fi})
+		if ev, emit := s.diffPresentLocked(path, fi); emit {
+			events = append(events, ev)
 		}
 	}
 	for path := range s.prev {
@@ -494,7 +497,76 @@ func (s *Scanner) Scan() ([]Event, error) {
 	}
 	s.prev = current
 	sort.Slice(events, func(i, j int) bool { return events[i].Info.Path < events[j].Info.Path })
-	return events, nil
+	return events, len(current), nil
+}
+
+// diffPresentLocked classifies one present file against the baseline,
+// consuming any matching self-write suppression. The caller holds
+// s.mu and is responsible for recording fi into the baseline (Scan
+// replaces s.prev wholesale; ScanDirty updates entries in place).
+func (s *Scanner) diffPresentLocked(path string, fi FileInfo) (Event, bool) {
+	prev, existed := s.prev[path]
+	if sup, ok := s.suppress[path]; ok && !sup.removed &&
+		sup.size == fi.Size && sup.modTime.Equal(fi.ModTime) {
+		delete(s.suppress, path)
+		return Event{}, false
+	}
+	switch {
+	case !existed:
+		return Event{Kind: Added, Info: fi}, true
+	case prev.Size != fi.Size || !prev.ModTime.Equal(fi.ModTime):
+		return Event{Kind: Modified, Info: fi}, true
+	}
+	return Event{}, false
+}
+
+// ScanDirty is the incremental counterpart of Scan: it stats only the
+// given paths (the dirty set accumulated from watcher notifications)
+// and diffs each against the known baseline, updating the baseline in
+// place. Cost is O(len(paths)) regardless of folder size. Paths that
+// turn out unchanged — watchers over-report — produce no event. The
+// returned count is the number of stat calls performed.
+//
+// ScanDirty trusts the dirty set for completeness: a change on a path
+// not listed stays undetected until the next full Scan, which is why
+// the sync loop pairs watchers with a full-rescan safety net.
+func (s *Scanner) ScanDirty(paths []string) ([]Event, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	statted := 0
+	seen := make(map[string]bool, len(paths))
+	var events []Event
+	for _, path := range paths {
+		if seen[path] || strings.HasPrefix(path, StatePrefix) {
+			continue
+		}
+		seen[path] = true
+		fi, err := s.folder.Stat(path)
+		statted++
+		if err != nil {
+			if !errors.Is(err, ErrNotExist) {
+				return nil, statted, err
+			}
+			// Gone. Only report it if the baseline knew it (a created-
+			// then-removed temp file produces no event at all).
+			if sup, ok := s.suppress[path]; ok && sup.removed {
+				delete(s.suppress, path)
+				delete(s.prev, path)
+				continue
+			}
+			if _, existed := s.prev[path]; existed {
+				events = append(events, Event{Kind: Removed, Info: FileInfo{Path: path}})
+				delete(s.prev, path)
+			}
+			continue
+		}
+		if ev, emit := s.diffPresentLocked(path, fi); emit {
+			events = append(events, ev)
+		}
+		s.prev[path] = fi
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Info.Path < events[j].Info.Path })
+	return events, statted, nil
 }
 
 // ConflictCopyPath derives the path used to materialize the losing

@@ -1,0 +1,112 @@
+package localfs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrWatchUnsupported reports that a Folder implementation cannot
+// deliver change notifications; callers fall back to periodic
+// scanning.
+var ErrWatchUnsupported = errors.New("localfs: folder does not support watching")
+
+// WatchEvent names a path that may have changed. Watchers are
+// deliberately coarse: an event means "stat this path again", not a
+// verified change — the Scanner is the single source of truth for
+// what actually happened (ScanDirty re-stats the path against the
+// known baseline). Watchers may drop events (see Watch.Overflowed)
+// and may report paths that did not change; they must never be
+// trusted for completeness, which is why the sync loop keeps a
+// low-frequency full-rescan safety net.
+type WatchEvent struct {
+	// Path is the slash-separated path relative to the folder root.
+	Path string
+}
+
+// Watch is a live subscription to folder change notifications.
+type Watch interface {
+	// Events returns the notification channel. The channel is closed
+	// when the watch dies (Close, or an unrecoverable watcher error);
+	// consumers must then fall back to periodic scanning.
+	Events() <-chan WatchEvent
+	// Overflowed reports whether notifications were dropped since the
+	// last call, and clears the flag. After an overflow the dirty set
+	// is incomplete and only a full rescan restores accuracy.
+	Overflowed() bool
+	// Close terminates the subscription and releases its resources.
+	Close() error
+}
+
+// Watchable is an optional Folder extension for event-driven change
+// detection. Implementations that cannot watch (or on platforms
+// without native notification support) return ErrWatchUnsupported.
+type Watchable interface {
+	Watch() (Watch, error)
+}
+
+// watchBuffer is the per-subscription event buffer. A full buffer
+// sets the overflow flag instead of blocking the writer: folder
+// mutations must never stall on a slow sync loop.
+const watchBuffer = 1024
+
+// memWatch is a Watch over a Mem folder.
+type memWatch struct {
+	m        *Mem
+	ch       chan WatchEvent
+	overflow atomic.Bool
+	once     sync.Once
+}
+
+var _ Watch = (*memWatch)(nil)
+
+// Events implements Watch.
+func (w *memWatch) Events() <-chan WatchEvent { return w.ch }
+
+// Overflowed implements Watch.
+func (w *memWatch) Overflowed() bool { return w.overflow.Swap(false) }
+
+// Close implements Watch.
+func (w *memWatch) Close() error {
+	w.once.Do(func() {
+		w.m.mu.Lock()
+		kept := w.m.watchers[:0]
+		for _, o := range w.m.watchers {
+			if o != w {
+				kept = append(kept, o)
+			}
+		}
+		w.m.watchers = kept
+		w.m.mu.Unlock()
+		// notify sends hold m.mu, so no send can race this close.
+		close(w.ch)
+	})
+	return nil
+}
+
+// Watch implements Watchable: a Mem folder is its own notification
+// source, so watches on it are exact (modulo buffer overflow).
+func (m *Mem) Watch() (Watch, error) {
+	w := &memWatch{m: m, ch: make(chan WatchEvent, watchBuffer)}
+	m.mu.Lock()
+	m.watchers = append(m.watchers, w)
+	m.mu.Unlock()
+	return w, nil
+}
+
+// notifyLocked fans a change notification out to every watcher. The
+// caller holds m.mu. UniDrive's own state directory is invisible to
+// watchers, exactly as it is to the Scanner.
+func (m *Mem) notifyLocked(path string) {
+	if len(m.watchers) == 0 || strings.HasPrefix(path, StatePrefix) {
+		return
+	}
+	for _, w := range m.watchers {
+		select {
+		case w.ch <- WatchEvent{Path: path}:
+		default:
+			w.overflow.Store(true)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+//go:build linux
+
+package localfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// dirWatchMask selects the inotify events a Dir watch subscribes to.
+// IN_CLOSE_WRITE (a writer finished) and IN_MOVED_TO (rename target —
+// the second half of the editor write-then-rename save pattern) cover
+// content arriving; IN_CREATE catches new files and, with IN_ISDIR,
+// new directories that need their own watch; IN_DELETE and
+// IN_MOVED_FROM cover content leaving. Plain IN_MODIFY is deliberately
+// omitted: it fires per write(2) and would flood the debounce buffer
+// with notifications for still-open files.
+const dirWatchMask = syscall.IN_CLOSE_WRITE | syscall.IN_MOVED_TO |
+	syscall.IN_CREATE | syscall.IN_DELETE | syscall.IN_MOVED_FROM
+
+// dirWatch is an inotify-backed Watch over a Dir folder. One watch
+// descriptor is registered per directory of the tree; directories
+// created later are picked up from their parent's IN_CREATE event.
+type dirWatch struct {
+	root string
+	fd   int      // raw inotify fd, for InotifyAddWatch
+	f    *os.File // same fd, non-blocking + runtime-poller managed reads
+	ch   chan WatchEvent
+
+	mu sync.Mutex
+	wd map[int32]string // watch descriptor -> absolute directory
+
+	overflow atomic.Bool
+	once     sync.Once
+}
+
+var _ Watch = (*dirWatch)(nil)
+
+// Watch implements Watchable using inotify: change notifications
+// arrive from the kernel instead of folder walks, so the sync loop's
+// steady-state cost is proportional to the change rate, not the
+// folder size. The watch is recursive and self-extending (new
+// subdirectories are added as they appear); event loss — kernel queue
+// overflow, a directory moved wholesale — is surfaced through
+// Overflowed rather than hidden.
+func (d *Dir) Watch() (Watch, error) {
+	fd, err := syscall.InotifyInit1(syscall.IN_CLOEXEC | syscall.IN_NONBLOCK)
+	if err != nil {
+		return nil, fmt.Errorf("localfs: inotify init: %w", err)
+	}
+	w := &dirWatch{
+		root: d.root,
+		fd:   fd,
+		f:    os.NewFile(uintptr(fd), "inotify"),
+		ch:   make(chan WatchEvent, watchBuffer),
+		wd:   make(map[int32]string),
+	}
+	if err := w.addTree(d.root); err != nil {
+		w.f.Close()
+		return nil, err
+	}
+	go w.readLoop()
+	return w, nil
+}
+
+// Events implements Watch.
+func (w *dirWatch) Events() <-chan WatchEvent { return w.ch }
+
+// Overflowed implements Watch.
+func (w *dirWatch) Overflowed() bool { return w.overflow.Swap(false) }
+
+// Close implements Watch. Closing the inotify fd releases every watch
+// descriptor and unblocks the reader, which then closes Events().
+func (w *dirWatch) Close() error {
+	var err error
+	w.once.Do(func() { err = w.f.Close() })
+	return err
+}
+
+// addTree registers a watch on dir and every subdirectory below it,
+// skipping UniDrive's private state directory. Racing creations are
+// fine: a directory that appears mid-walk either lands in the walk or
+// triggers IN_CREATE on its (already watched) parent.
+func (w *dirWatch) addTree(dir string) error {
+	return filepath.WalkDir(dir, func(p string, entry fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil // deleted mid-walk
+			}
+			return err
+		}
+		if !entry.IsDir() {
+			return nil
+		}
+		if entry.Name() == ".unidrive" && p != dir {
+			return filepath.SkipDir
+		}
+		return w.addDir(p)
+	})
+}
+
+func (w *dirWatch) addDir(dir string) error {
+	// Note: not w.f.Fd() — that would flip the fd to blocking mode and
+	// detach it from the runtime poller, so Close could no longer
+	// interrupt the read loop.
+	wd, err := syscall.InotifyAddWatch(w.fd, dir, dirWatchMask)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil // deleted before we got to it
+		}
+		return fmt.Errorf("localfs: inotify watch %q: %w", dir, err)
+	}
+	w.mu.Lock()
+	w.wd[int32(wd)] = dir
+	w.mu.Unlock()
+	return nil
+}
+
+// readLoop drains the inotify fd until Close. Runs as a goroutine;
+// the non-blocking fd parks it in the runtime poller between bursts.
+func (w *dirWatch) readLoop() {
+	defer close(w.ch)
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := w.f.Read(buf)
+		if err != nil {
+			// Closed (deliberate) or a dead fd; either way the watch is
+			// over and the consumer falls back to scanning.
+			return
+		}
+		w.dispatch(buf[:n])
+	}
+}
+
+// inotifyEventSize is the kernel's fixed event-header size (the
+// flexible name array follows it). Deliberately NOT
+// unsafe.Sizeof(syscall.InotifyEvent{}): the zero-length Name member
+// pads the Go struct to 20 bytes while the wire header is 16.
+const inotifyEventSize = syscall.SizeofInotifyEvent
+
+// dispatch parses one read's worth of inotify events.
+func (w *dirWatch) dispatch(buf []byte) {
+	for off := 0; off+inotifyEventSize <= len(buf); {
+		raw := (*syscall.InotifyEvent)(unsafe.Pointer(&buf[off])) //nolint:govet // kernel-framed buffer
+		nameEnd := off + inotifyEventSize + int(raw.Len)
+		if nameEnd > len(buf) {
+			return // truncated tail; kernel never splits events, be safe
+		}
+		name := string(bytesTrimNul(buf[off+inotifyEventSize : nameEnd]))
+		off = nameEnd
+
+		if raw.Mask&syscall.IN_Q_OVERFLOW != 0 {
+			w.overflow.Store(true)
+			continue
+		}
+		if raw.Mask&syscall.IN_IGNORED != 0 {
+			w.mu.Lock()
+			delete(w.wd, raw.Wd)
+			w.mu.Unlock()
+			continue
+		}
+		w.mu.Lock()
+		dir, known := w.wd[raw.Wd]
+		w.mu.Unlock()
+		if !known || name == "" {
+			continue
+		}
+		if name == ".unidrive" || strings.HasPrefix(name, ".unidrive/") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		if raw.Mask&syscall.IN_ISDIR != 0 {
+			w.dispatchDir(full, raw.Mask)
+			continue
+		}
+		rel, err := filepath.Rel(w.root, full)
+		if err != nil {
+			continue
+		}
+		w.emit(filepath.ToSlash(rel))
+	}
+}
+
+// dispatchDir handles directory-level events. An arriving directory
+// (created or moved in) gets a watch plus synthetic events for files
+// already inside it — they may have been written before the watch
+// landed. A departing directory takes an unknown set of paths with
+// it, which a per-path dirty set cannot express; that is reported as
+// an overflow so the sync loop falls back to a full rescan.
+func (w *dirWatch) dispatchDir(dir string, mask uint32) {
+	switch {
+	case mask&(syscall.IN_CREATE|syscall.IN_MOVED_TO) != 0:
+		if err := w.addTree(dir); err != nil {
+			w.overflow.Store(true)
+			return
+		}
+		_ = filepath.WalkDir(dir, func(p string, entry fs.DirEntry, err error) error {
+			if err != nil || entry.IsDir() {
+				return nil
+			}
+			if rel, err := filepath.Rel(w.root, p); err == nil {
+				w.emit(filepath.ToSlash(rel))
+			}
+			return nil
+		})
+	case mask&(syscall.IN_DELETE|syscall.IN_MOVED_FROM) != 0:
+		w.overflow.Store(true)
+	}
+}
+
+func (w *dirWatch) emit(rel string) {
+	if strings.HasPrefix(rel, StatePrefix) || rel == "." {
+		return
+	}
+	select {
+	case w.ch <- WatchEvent{Path: rel}:
+	default:
+		w.overflow.Store(true)
+	}
+}
+
+func bytesTrimNul(b []byte) []byte {
+	for i, c := range b {
+		if c == 0 {
+			return b[:i]
+		}
+	}
+	return b
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package localfs
+
+// Watch implements Watchable. Only Linux has a native notification
+// backend (inotify) wired up; elsewhere a Dir cannot watch and the
+// sync loop falls back to periodic scanning.
+func (d *Dir) Watch() (Watch, error) { return nil, ErrWatchUnsupported }

@@ -110,7 +110,7 @@ func (im *Image) Apply(c *Change, device string) error {
 	}
 	if c.Type == ChangeRelocate {
 		// Replace (not union) the segment's placement.
-		im.Segments[c.Path] = c.Segments[0].Clone()
+		im.segments.Put(c.Path, c.Segments[0].Clone())
 		return nil
 	}
 	for _, seg := range c.Segments {
@@ -123,6 +123,111 @@ func (im *Image) Apply(c *Change, device string) error {
 		im.Tombstone(c.Path, device, c.Time)
 	}
 	return nil
+}
+
+// ApplyCOW returns a NEW image with the changes applied, leaving im
+// untouched: the result shares every unchanged FileEntry and Segment
+// pointer with im (copy-on-write), refcounts are maintained
+// incrementally, and touched segments whose count reaches zero are
+// dropped from the pool. For an image with exact refcounts (anything
+// produced by materialization-plus-RecountRefs or by ApplyCOW itself)
+// the result is equivalent to Clone + Apply-per-change + RecountRefs +
+// DropSegments — at O(changes) entry work plus O(changes) copied map
+// shards, instead of an O(folder) deep clone and recount. This is the
+// commit hot path for event-driven sync: a small commit into a large
+// folder must not replay, re-walk, or even re-copy the whole image.
+func (im *Image) ApplyCOW(changes []*Change, device string) (*Image, error) {
+	// The shard maps are shared wholesale; the first write into a
+	// shard clones just that shard (~1/64 of the folder), so a small
+	// commit copies a few hundred entries regardless of folder size.
+	out := im.cloneShared()
+
+	// owned tracks segments already cloned into out (safe to mutate);
+	// touched tracks segments whose refcount may have changed.
+	owned := make(map[string]bool)
+	touched := make(map[string]bool)
+	segFor := func(id string) *Segment {
+		seg, ok := out.segments.Get(id)
+		if !ok {
+			return nil
+		}
+		if !owned[id] {
+			seg = seg.Clone()
+			out.segments.Put(id, seg)
+			owned[id] = true
+		}
+		touched[id] = true
+		return seg
+	}
+	addRefs := func(ids []string, delta int) {
+		for _, id := range ids {
+			if seg := segFor(id); seg != nil {
+				seg.RefCount += delta
+			}
+		}
+	}
+
+	for _, c := range changes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		if c.Type == ChangeRelocate {
+			// Replace (not union) the segment's placement, preserving the
+			// live refcount the relocate change does not know.
+			seg := c.Segments[0].Clone()
+			if old, ok := out.segments.Get(c.Path); ok {
+				seg.RefCount = old.RefCount
+			}
+			out.segments.Put(c.Path, seg)
+			owned[c.Path], touched[c.Path] = true, true
+			continue
+		}
+		for _, cs := range c.Segments {
+			if _, ok := out.segments.Get(cs.ID); !ok {
+				seg := cs.Clone()
+				seg.RefCount = 0 // counted below via the snapshot
+				out.segments.Put(cs.ID, seg)
+				owned[cs.ID], touched[cs.ID] = true, true
+				continue
+			}
+			seg := segFor(cs.ID)
+			for _, b := range cs.Blocks {
+				seg.AddBlock(b.BlockID, b.CloudID)
+			}
+			if seg.Length == 0 && cs.Length != 0 {
+				seg.Length, seg.K, seg.N = cs.Length, cs.K, cs.N
+			}
+		}
+		// The entry is replaced wholesale (same as SetSnapshot /
+		// Tombstone): every old snapshot's references go, the new
+		// snapshot's come.
+		if old, _ := out.files.Get(c.Path); old != nil {
+			for _, snap := range old.Snapshots {
+				if !snap.Deleted {
+					addRefs(snap.SegmentIDs, -1)
+				}
+			}
+		}
+		switch c.Type {
+		case ChangeAdd, ChangeEdit:
+			snap := c.Snapshot.Clone()
+			out.files.Put(c.Path, &FileEntry{Path: c.Path, Snapshots: []*Snapshot{snap}})
+			addRefs(snap.SegmentIDs, +1)
+		case ChangeDelete:
+			out.files.Put(c.Path, &FileEntry{Path: c.Path, Snapshots: []*Snapshot{
+				{Path: c.Path, Device: device, ModTime: c.Time, Deleted: true},
+			}})
+		}
+	}
+
+	// Only touched segments can have dropped to zero: im had exact
+	// counts, so an untouched segment's count is unchanged and nonzero.
+	for id := range touched {
+		if seg, ok := out.segments.Get(id); ok && seg.RefCount <= 0 {
+			out.segments.Delete(id)
+		}
+	}
+	return out, nil
 }
 
 // ChangedFileList accumulates local changes between synchronizations

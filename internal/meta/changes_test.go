@@ -84,7 +84,7 @@ func TestImageApplyChange(t *testing.T) {
 	if im.Lookup("f").Current() == nil {
 		t.Fatal("snapshot not installed")
 	}
-	if _, ok := im.Segments["s1"]; !ok {
+	if _, ok := im.Segment("s1"); !ok {
 		t.Fatal("segment not upserted")
 	}
 	if err := im.Apply(delChange("f"), "dev"); err != nil {

@@ -22,11 +22,11 @@ type Diff map[string]DiffEntry
 // content differs between from and to.
 func DiffImages(from, to *Image) Diff {
 	d := make(Diff)
-	seen := make(map[string]bool, len(from.Files)+len(to.Files))
-	for p := range from.Files {
+	seen := make(map[string]bool, from.NumFiles()+to.NumFiles())
+	for p := range from.AllFiles() {
 		seen[p] = true
 	}
-	for p := range to.Files {
+	for p := range to.AllFiles() {
 		seen[p] = true
 	}
 	for p := range seen {
@@ -92,10 +92,10 @@ func Merge(vo, vl, vc *Image) (*MergeResult, error) {
 	// updates.
 	merged := vc.Clone()
 	// Union in the local pool so local-only segments are present.
-	for _, seg := range vl.Segments {
+	for _, seg := range vl.AllSegments() {
 		merged.UpsertSegment(seg)
 	}
-	for _, seg := range vo.Segments {
+	for _, seg := range vo.AllSegments() {
 		merged.UpsertSegment(seg)
 	}
 
@@ -124,7 +124,7 @@ func Merge(vo, vl, vc *Image) (*MergeResult, error) {
 			// conflict at all.
 			continue
 		}
-		merged.Files[p] = entry
+		merged.SetEntry(entry)
 		conflicts = append(conflicts, Conflict{Path: p, Local: dl.After, Cloud: dc.After})
 	}
 	sort.Slice(conflicts, func(i, j int) bool { return conflicts[i].Path < conflicts[j].Path })

@@ -70,7 +70,7 @@ func TestMergeDisjointUpdates(t *testing.T) {
 		t.Fatal("untouched file changed")
 	}
 	// Both new segments present and counted.
-	if m.Segments["sm2"].RefCount != 1 || m.Segments["st2"].RefCount != 1 {
+	if segOf(m, "sm2").RefCount != 1 || segOf(m, "st2").RefCount != 1 {
 		t.Fatal("merged segment refcounts wrong")
 	}
 }
@@ -123,7 +123,7 @@ func TestMergeConflictRetainsBothVersions(t *testing.T) {
 	// Content for both retained versions stays referenced ("file
 	// content data corresponding to conflict entries are also
 	// retained").
-	if res.Image.Segments["sv1"].RefCount != 1 || res.Image.Segments["sv2"].RefCount != 1 {
+	if segOf(res.Image, "sv1").RefCount != 1 || segOf(res.Image, "sv2").RefCount != 1 {
 		t.Fatal("conflict copies must keep their segments alive")
 	}
 }
@@ -192,15 +192,15 @@ func TestMergeUnionsBlockLocations(t *testing.T) {
 	// merged pool must know both locations.
 	vo := base()
 	vl := vo.Clone()
-	vl.Segments["s0"].AddBlock(0, "cloudA")
+	segOf(vl, "s0").AddBlock(0, "cloudA")
 	vc := vo.Clone()
-	vc.Segments["s0"].AddBlock(1, "cloudB")
+	segOf(vc, "s0").AddBlock(1, "cloudB")
 
 	res, err := Merge(vo, vl, vc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := res.Image.Segments["s0"]
+	s := segOf(res.Image, "s0")
 	if !s.HasBlock(0, "cloudA") || !s.HasBlock(1, "cloudB") {
 		t.Fatalf("block locations not unioned: %+v", s.Blocks)
 	}

@@ -26,6 +26,7 @@ package meta
 import (
 	"encoding/json"
 	"fmt"
+	"iter"
 	"sort"
 	"strconv"
 	"strings"
@@ -210,48 +211,60 @@ func (e *FileEntry) Clone() *FileEntry {
 }
 
 // Image is the SyncFolderImage: the single metadata file capturing
-// the sync folder hierarchy and the segment pool.
+// the sync folder hierarchy and the segment pool. The two maps are
+// sharded with per-shard copy-on-write (see shardMap) so that
+// ApplyCOW — the commit hot path — costs O(changes), not O(folder);
+// access them through Lookup/AllFiles/Segment/AllSegments and the
+// mutators below.
 type Image struct {
 	// Version increases by one with every committed metadata update.
 	Version int64 `json:"version"`
 	// Device is the device that committed this version.
 	Device string `json:"device"`
-	// Files maps path -> entry.
-	Files map[string]*FileEntry `json:"files"`
-	// Segments is the segment pool: segment ID -> segment.
-	Segments map[string]*Segment `json:"segments"`
+
+	files    *shardMap[*FileEntry]
+	segments *shardMap[*Segment]
 }
 
 // NewImage returns an empty image at version 0.
 func NewImage() *Image {
 	return &Image{
-		Files:    make(map[string]*FileEntry),
-		Segments: make(map[string]*Segment),
+		files:    &shardMap[*FileEntry]{},
+		segments: &shardMap[*Segment]{},
 	}
 }
 
 // Clone returns a deep copy of the image.
 func (im *Image) Clone() *Image {
-	out := &Image{
-		Version:  im.Version,
-		Device:   im.Device,
-		Files:    make(map[string]*FileEntry, len(im.Files)),
-		Segments: make(map[string]*Segment, len(im.Segments)),
+	out := NewImage()
+	out.Version = im.Version
+	out.Device = im.Device
+	for p, e := range im.files.All() {
+		out.files.Put(p, e.Clone())
 	}
-	for p, e := range im.Files {
-		out.Files[p] = e.Clone()
-	}
-	for id, s := range im.Segments {
-		out.Segments[id] = s.Clone()
+	for id, s := range im.segments.All() {
+		out.segments.Put(id, s.Clone())
 	}
 	return out
+}
+
+// cloneShared returns a new image sharing im's map shards
+// copy-on-write; mutating either image's maps clones only the
+// touched shards. Entry and segment values stay shared.
+func (im *Image) cloneShared() *Image {
+	return &Image{
+		Version:  im.Version,
+		Device:   im.Device,
+		files:    im.files.CloneShared(),
+		segments: im.segments.CloneShared(),
+	}
 }
 
 // Paths returns the image's file paths in sorted order, excluding
 // tombstoned entries.
 func (im *Image) Paths() []string {
-	out := make([]string, 0, len(im.Files))
-	for p, e := range im.Files {
+	out := make([]string, 0, im.files.Len())
+	for p, e := range im.files.All() {
 		if cur := e.Current(); cur != nil && !cur.Deleted {
 			out = append(out, p)
 		}
@@ -261,12 +274,37 @@ func (im *Image) Paths() []string {
 }
 
 // Lookup returns the entry for path, or nil.
-func (im *Image) Lookup(path string) *FileEntry { return im.Files[path] }
+func (im *Image) Lookup(path string) *FileEntry {
+	e, _ := im.files.Get(path)
+	return e
+}
+
+// SetEntry installs the entry under its path.
+func (im *Image) SetEntry(e *FileEntry) { im.files.Put(e.Path, e) }
+
+// NumFiles returns the number of file entries (including tombstones).
+func (im *Image) NumFiles() int { return im.files.Len() }
+
+// AllFiles iterates every path -> entry pair, in unspecified order.
+func (im *Image) AllFiles() iter.Seq2[string, *FileEntry] { return im.files.All() }
+
+// Segment returns the pool segment with the given ID.
+func (im *Image) Segment(id string) (*Segment, bool) { return im.segments.Get(id) }
+
+// SetSegment installs seg in the pool under its ID, replacing any
+// existing record.
+func (im *Image) SetSegment(seg *Segment) { im.segments.Put(seg.ID, seg) }
+
+// NumSegments returns the size of the segment pool.
+func (im *Image) NumSegments() int { return im.segments.Len() }
+
+// AllSegments iterates every ID -> segment pair, in unspecified order.
+func (im *Image) AllSegments() iter.Seq2[string, *Segment] { return im.segments.All() }
 
 // SetSnapshot replaces the entry for snap.Path with the single given
 // snapshot (resolving any retained conflict versions).
 func (im *Image) SetSnapshot(snap *Snapshot) {
-	im.Files[snap.Path] = &FileEntry{Path: snap.Path, Snapshots: []*Snapshot{snap}}
+	im.files.Put(snap.Path, &FileEntry{Path: snap.Path, Snapshots: []*Snapshot{snap}})
 }
 
 // Tombstone marks path deleted by the given device.
@@ -278,9 +316,9 @@ func (im *Image) Tombstone(path, device string, now time.Time) {
 // into the existing record. Refcounts are not touched; call
 // RecountRefs after a batch of structural changes.
 func (im *Image) UpsertSegment(seg *Segment) {
-	existing, ok := im.Segments[seg.ID]
+	existing, ok := im.segments.Get(seg.ID)
 	if !ok {
-		im.Segments[seg.ID] = seg.Clone()
+		im.segments.Put(seg.ID, seg.Clone())
 		return
 	}
 	for _, b := range seg.Blocks {
@@ -295,24 +333,27 @@ func (im *Image) UpsertSegment(seg *Segment) {
 // currently in the image (including retained conflict versions, whose
 // content must stay recoverable). It returns the IDs of segments
 // whose count dropped to zero — candidates for garbage collection.
+// It mutates segment values in place, so it must only run on images
+// with owned values (fresh from Clone, DecodeImage or
+// materialization), never on ones sharing entries copy-on-write.
 func (im *Image) RecountRefs() []string {
-	for _, seg := range im.Segments {
+	for _, seg := range im.segments.All() {
 		seg.RefCount = 0
 	}
-	for _, e := range im.Files {
+	for _, e := range im.files.All() {
 		for _, snap := range e.Snapshots {
 			if snap.Deleted {
 				continue
 			}
 			for _, id := range snap.SegmentIDs {
-				if seg, ok := im.Segments[id]; ok {
+				if seg, ok := im.segments.Get(id); ok {
 					seg.RefCount++
 				}
 			}
 		}
 	}
 	var dead []string
-	for id, seg := range im.Segments {
+	for id, seg := range im.segments.All() {
 		if seg.RefCount == 0 {
 			dead = append(dead, id)
 		}
@@ -324,7 +365,7 @@ func (im *Image) RecountRefs() []string {
 // DropSegments removes the given segment IDs from the pool.
 func (im *Image) DropSegments(ids []string) {
 	for _, id := range ids {
-		delete(im.Segments, id)
+		im.segments.Delete(id)
 	}
 }
 
@@ -332,12 +373,50 @@ func (im *Image) DropSegments(ids []string) {
 // file content, counting deduplicated segments once.
 func (im *Image) TotalBytes() int64 {
 	var total int64
-	for _, seg := range im.Segments {
+	for _, seg := range im.segments.All() {
 		if seg.RefCount > 0 {
 			total += int64(seg.Length)
 		}
 	}
 	return total
+}
+
+// imageJSON is the wire form of Image: plain maps, the same JSON
+// shape the flat-map representation produced.
+type imageJSON struct {
+	Version  int64                 `json:"version"`
+	Device   string                `json:"device"`
+	Files    map[string]*FileEntry `json:"files"`
+	Segments map[string]*Segment   `json:"segments"`
+}
+
+// MarshalJSON flattens the sharded maps into the stable wire form.
+func (im *Image) MarshalJSON() ([]byte, error) {
+	return json.Marshal(imageJSON{
+		Version:  im.Version,
+		Device:   im.Device,
+		Files:    im.files.flatten(),
+		Segments: im.segments.flatten(),
+	})
+}
+
+// UnmarshalJSON parses the wire form into sharded maps.
+func (im *Image) UnmarshalJSON(data []byte) error {
+	var w imageJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	im.Version = w.Version
+	im.Device = w.Device
+	im.files = &shardMap[*FileEntry]{}
+	im.segments = &shardMap[*Segment]{}
+	for p, e := range w.Files {
+		im.files.Put(p, e)
+	}
+	for id, s := range w.Segments {
+		im.segments.Put(id, s)
+	}
+	return nil
 }
 
 // Encode serializes the image to JSON. The caller encrypts the result
@@ -355,12 +434,6 @@ func DecodeImage(data []byte) (*Image, error) {
 	im := NewImage()
 	if err := json.Unmarshal(data, im); err != nil {
 		return nil, fmt.Errorf("meta: decoding image: %w", err)
-	}
-	if im.Files == nil {
-		im.Files = make(map[string]*FileEntry)
-	}
-	if im.Segments == nil {
-		im.Segments = make(map[string]*Segment)
 	}
 	return im, nil
 }

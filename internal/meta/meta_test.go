@@ -20,6 +20,14 @@ func seg(id string, blocks ...BlockLocation) *Segment {
 	return &Segment{ID: id, Length: 100, K: 3, N: 10, Blocks: blocks}
 }
 
+// segOf and fileOf fetch pool/tree entries directly (nil if absent).
+func segOf(im *Image, id string) *Segment {
+	s, _ := im.Segment(id)
+	return s
+}
+
+func fileOf(im *Image, p string) *FileEntry { return im.Lookup(p) }
+
 func TestBlockName(t *testing.T) {
 	if got := BlockName("abc", 7); got != "abc.7" {
 		t.Fatalf("BlockName = %q", got)
@@ -78,11 +86,11 @@ func TestImageCloneIndependence(t *testing.T) {
 	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}))
 	cl := im.Clone()
 	cl.SetSnapshot(snap("a.txt", "d2", "s9"))
-	cl.Segments["s1"].AddBlock(5, "c5")
-	if im.Files["a.txt"].Current().Device != "d1" {
+	segOf(cl, "s1").AddBlock(5, "c5")
+	if im.Lookup("a.txt").Current().Device != "d1" {
 		t.Fatal("clone mutation leaked into original (files)")
 	}
-	if im.Segments["s1"].HasBlock(5, "c5") {
+	if segOf(im, "s1").HasBlock(5, "c5") {
 		t.Fatal("clone mutation leaked into original (segments)")
 	}
 }
@@ -102,7 +110,7 @@ func TestUpsertSegmentMergesBlocks(t *testing.T) {
 	im := NewImage()
 	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}))
 	im.UpsertSegment(seg("s1", BlockLocation{1, "c2"}))
-	s := im.Segments["s1"]
+	s := segOf(im, "s1")
 	if len(s.Blocks) != 2 {
 		t.Fatalf("blocks = %v", s.Blocks)
 	}
@@ -117,36 +125,36 @@ func TestRecountRefsAndDedup(t *testing.T) {
 	im.UpsertSegment(seg("s2"))
 	im.UpsertSegment(seg("dead"))
 	dead := im.RecountRefs()
-	if im.Segments["s1"].RefCount != 2 {
-		t.Fatalf("s1 refcount = %d, want 2", im.Segments["s1"].RefCount)
+	if segOf(im, "s1").RefCount != 2 {
+		t.Fatalf("s1 refcount = %d, want 2", segOf(im, "s1").RefCount)
 	}
-	if im.Segments["s2"].RefCount != 1 {
-		t.Fatalf("s2 refcount = %d, want 1", im.Segments["s2"].RefCount)
+	if segOf(im, "s2").RefCount != 1 {
+		t.Fatalf("s2 refcount = %d, want 1", segOf(im, "s2").RefCount)
 	}
 	if len(dead) != 1 || dead[0] != "dead" {
 		t.Fatalf("dead = %v", dead)
 	}
 	im.DropSegments(dead)
-	if _, ok := im.Segments["dead"]; ok {
+	if _, ok := im.Segment("dead"); ok {
 		t.Fatal("dead segment not dropped")
 	}
 	// Deleting file b drops s1 to 1.
 	im.Tombstone("b", "d", time.Unix(0, 0))
 	im.RecountRefs()
-	if im.Segments["s1"].RefCount != 1 {
-		t.Fatalf("s1 refcount after delete = %d, want 1", im.Segments["s1"].RefCount)
+	if segOf(im, "s1").RefCount != 1 {
+		t.Fatalf("s1 refcount after delete = %d, want 1", segOf(im, "s1").RefCount)
 	}
 }
 
 func TestRefCountIncludesConflictCopies(t *testing.T) {
 	im := NewImage()
-	im.Files["f"] = &FileEntry{Path: "f", Snapshots: []*Snapshot{
+	im.SetEntry(&FileEntry{Path: "f", Snapshots: []*Snapshot{
 		snap("f", "d1", "s1"), snap("f", "d2", "s2"),
-	}}
+	}})
 	im.UpsertSegment(seg("s1"))
 	im.UpsertSegment(seg("s2"))
 	im.RecountRefs()
-	if im.Segments["s1"].RefCount != 1 || im.Segments["s2"].RefCount != 1 {
+	if segOf(im, "s1").RefCount != 1 || segOf(im, "s2").RefCount != 1 {
 		t.Fatal("conflict copies must keep their segments referenced")
 	}
 }
@@ -181,10 +189,10 @@ func TestImageEncodeDecodeRoundTrip(t *testing.T) {
 	if got.Version != 42 || got.Device != "laptop" {
 		t.Fatalf("header = %d/%s", got.Version, got.Device)
 	}
-	if got.Files["dir/a.txt"].Current().SegmentIDs[0] != "s1" {
+	if got.Lookup("dir/a.txt").Current().SegmentIDs[0] != "s1" {
 		t.Fatal("file entry lost")
 	}
-	if !got.Segments["s1"].HasBlock(1, "c2") {
+	if !segOf(got, "s1").HasBlock(1, "c2") {
 		t.Fatal("segment blocks lost")
 	}
 }
@@ -194,7 +202,7 @@ func TestDecodeImageEmptyObject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Files == nil || got.Segments == nil {
+	if got.files == nil || got.segments == nil {
 		t.Fatal("maps not initialized on decode")
 	}
 	if _, err := DecodeImage([]byte(`not json`)); err == nil {

@@ -1,0 +1,116 @@
+package meta
+
+import (
+	"iter"
+	"maps"
+)
+
+// imageShards is the fixed shard count of the image's path- and
+// segment-keyed maps. Sharding exists for one reason: commits must be
+// O(changes), and a flat map forces any copy-on-write apply to copy
+// all n entries. With per-shard copy-on-write, an apply touching c
+// keys copies at most c shards of ~n/256 entries each — a few hundred
+// entries even for a 100k-file folder, so pass latency stays near
+// flat in folder size.
+const imageShards = 256
+
+// shardOf hashes key to a shard index (FNV-1a; cheap and stable).
+func shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % imageShards)
+}
+
+// shardMap is a string-keyed map split into a fixed number of shards
+// with per-shard copy-on-write: CloneShared returns a copy whose
+// shards alias the original's, and the first write to a shard — on
+// either side — clones just that shard. Reads never mutate, so any
+// number of goroutines may read images that share shards, provided
+// writes stay single-goroutine per image (the same discipline a plain
+// map requires).
+type shardMap[V any] struct {
+	shards [imageShards]map[string]V
+	shared [imageShards]bool // shard aliases another shardMap; clone before write
+	n      int
+}
+
+func (m *shardMap[V]) Get(k string) (V, bool) {
+	v, ok := m.shards[shardOf(k)][k]
+	return v, ok
+}
+
+func (m *shardMap[V]) Len() int { return m.n }
+
+// writable returns shard i, cloning it first if it is shared.
+func (m *shardMap[V]) writable(i int) map[string]V {
+	s := m.shards[i]
+	switch {
+	case s == nil:
+		s = make(map[string]V)
+		m.shards[i] = s
+	case m.shared[i]:
+		s = maps.Clone(s)
+		m.shards[i] = s
+	}
+	m.shared[i] = false
+	return s
+}
+
+func (m *shardMap[V]) Put(k string, v V) {
+	s := m.writable(shardOf(k))
+	if _, ok := s[k]; !ok {
+		m.n++
+	}
+	s[k] = v
+}
+
+func (m *shardMap[V]) Delete(k string) {
+	i := shardOf(k)
+	if _, ok := m.shards[i][k]; !ok {
+		return
+	}
+	delete(m.writable(i), k)
+	m.n--
+}
+
+// All iterates every key/value pair, in unspecified order (like a
+// plain map).
+func (m *shardMap[V]) All() iter.Seq2[string, V] {
+	return func(yield func(string, V) bool) {
+		for _, s := range m.shards {
+			for k, v := range s {
+				if !yield(k, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CloneShared returns a copy sharing every shard with m. Both sides
+// become copy-on-write: the first Put/Delete into a shard from either
+// map clones that shard only. Values are shared as-is — callers
+// follow the usual copy-on-write rule of cloning an entry before
+// mutating it.
+func (m *shardMap[V]) CloneShared() *shardMap[V] {
+	out := &shardMap[V]{shards: m.shards, n: m.n}
+	for i := range m.shared {
+		m.shared[i] = true
+		out.shared[i] = true
+	}
+	return out
+}
+
+// flatten returns the contents as one plain map (for serialization).
+func (m *shardMap[V]) flatten() map[string]V {
+	out := make(map[string]V, m.n)
+	for _, s := range m.shards {
+		for k, v := range s {
+			out[k] = v
+		}
+	}
+	return out
+}

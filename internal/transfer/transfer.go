@@ -304,6 +304,29 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		return stopped
 	}
 	reg := e.cfg.Obs
+	// pending[cloud] queues the indices of items that may still have
+	// blocks for that cloud. Dispatch serves the front entry and pops
+	// entries whose plan ran dry for the cloud; anything that re-routes
+	// blocks (a failed block, a failover) re-appends the affected items.
+	// Duplicates are harmless — an exhausted entry just pops. This keeps
+	// finding the next block O(1) amortized instead of rescanning the
+	// whole batch per landed block, which is the difference between
+	// O(blocks) and O(blocks × items) for a 50k-segment commit.
+	pending := make(map[string][]int, len(e.names))
+	for _, name := range e.names {
+		q := make([]int, len(items))
+		for i := range q {
+			q[i] = i
+		}
+		pending[name] = q
+	}
+	requeueItem := func(item int) {
+		for _, name := range e.names {
+			if !d.dead[name] {
+				pending[name] = append(pending[name], item)
+			}
+		}
+	}
 	// failover is the mid-transfer failover path: the cloud is written
 	// off for this batch and each plan's still-queued normal blocks
 	// are re-planned onto the healthiest live clouds, within the
@@ -329,6 +352,15 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		}
 		if moved > 0 {
 			reg.Counter("transfer.up.failover_blocks").Add(int64(moved))
+			// The moved blocks landed on live clouds' queues; their
+			// items must be findable there again.
+			for _, n := range ranked {
+				q := pending[n]
+				for i := range items {
+					q = append(q, i)
+				}
+				pending[n] = q
+			}
 		}
 	}
 	dispatch := func() {
@@ -352,17 +384,21 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 				if checkStop() {
 					return
 				}
+				q := pending[name]
 				dispatched := false
-				for i, it := range items {
-					blockID, ok := it.Plan.NextBlock(name)
+				for len(q) > 0 {
+					i := q[0]
+					blockID, ok := items[i].Plan.NextBlock(name)
 					if !ok {
+						q = q[1:]
 						continue
 					}
 					d.take(name)
-					go e.uploadBlock(ctx, d.results, i, name, it.SegID, blockID, it.Src)
+					go e.uploadBlock(ctx, d.results, i, name, items[i].SegID, blockID, items[i].Src)
 					dispatched = true
 					break
 				}
+				pending[name] = q
 				if !dispatched {
 					break
 				}
@@ -397,6 +433,9 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 				reg.Counter("transfer.up.failover_blocks").Inc()
 			}
 			plan.Fail(r.cloudName, r.blockID)
+			// Fail re-routes the block onto some live cloud's queue;
+			// make the item findable there again.
+			requeueItem(r.item)
 			e.prober.ObserveFailure(r.cloudName, sched.Up)
 		} else {
 			reg.Counter("transfer.up.blocks").Inc()
@@ -407,6 +446,12 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 			}
 			bytesOK += r.size
 			plan.Complete(r.cloudName, r.blockID)
+			// A landed block can unlock work that NextBlock refused
+			// earlier — the uploader's own fair share completing opens
+			// its over-provisioning budget, and any completion can free
+			// the spare slots held back for orphaned blocks. Make the
+			// item findable on every live queue again.
+			requeueItem(r.item)
 			e.prober.Observe(r.cloudName, sched.Up, r.size, r.dur)
 			d.markOutcome(r.cloudName, nil)
 		}
@@ -547,6 +592,28 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		go e.downloadBlock(actx, d.results, item, name, items[item].SegID, blockID)
 	}
 
+	// pending[cloud] queues the indices of items that may still have
+	// blocks for that cloud — same amortization as the upload batch:
+	// dispatch pops entries whose plan ran dry for the cloud, and
+	// whatever re-routes blocks re-appends the affected items
+	// (duplicates pop harmlessly). Without it every landed block
+	// rescans the whole batch, O(blocks × items) for large applies.
+	pending := make(map[string][]int, len(e.names))
+	for _, name := range e.names {
+		q := make([]int, len(items))
+		for i := range q {
+			q[i] = i
+		}
+		pending[name] = q
+	}
+	requeueItem := func(item int) {
+		for _, name := range e.names {
+			if !d.dead[name] {
+				pending[name] = append(pending[name], item)
+			}
+		}
+	}
+
 	// markDeadForBatch writes a cloud off for every plan in the batch.
 	markDeadForBatch := func(name string) {
 		if d.dead[name] {
@@ -555,6 +622,18 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		d.dead[name] = true
 		for _, it := range items {
 			it.Plan.MarkDead(name)
+		}
+		// MarkDead re-routed the dead cloud's blocks onto the other
+		// holders' queues; their items must be findable there again.
+		for _, n := range e.names {
+			if d.dead[n] {
+				continue
+			}
+			q := pending[n]
+			for i := range items {
+				q = append(q, i)
+			}
+			pending[n] = q
 		}
 	}
 
@@ -565,14 +644,16 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		// wait for a fast connection instead of pinning the
 		// per-segment budget on a straw. Only clouds that actually
 		// hold needed blocks raise the bar, so blocks living solely
-		// on slow clouds are never starved.
+		// on slow clouds are never starved. Answered from the pending
+		// queue (compacting spent entries as a side effect), not by
+		// scanning every plan.
 		hasWork := func(name string) bool {
-			for _, it := range items {
-				if it.Plan.HasWork(name) {
-					return true
-				}
+			q := pending[name]
+			for len(q) > 0 && !items[q[0]].Plan.HasWork(name) {
+				q = q[1:]
 			}
-			return false
+			pending[name] = q
+			return len(q) > 0
 		}
 		var fastest float64
 		for _, name := range ranked {
@@ -599,16 +680,20 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 				continue
 			}
 			for d.idle[name] > 0 {
+				q := pending[name]
 				dispatched := false
-				for i, it := range items {
-					blockID, ok := it.Plan.NextBlock(name)
+				for len(q) > 0 {
+					i := q[0]
+					blockID, ok := items[i].Plan.NextBlock(name)
 					if !ok {
+						q = q[1:]
 						continue
 					}
 					launch(i, name, blockID)
 					dispatched = true
 					break
 				}
+				pending[name] = q
 				if !dispatched {
 					break
 				}
@@ -731,6 +816,9 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 				markDeadForBatch(r.cloudName)
 			}
 			plan.Fail(r.cloudName, r.blockID)
+			// The failed block is back on some holder's queue; make the
+			// item findable there again.
+			requeueItem(r.item)
 			e.prober.ObserveFailure(r.cloudName, sched.Down)
 		} else {
 			f.done = true

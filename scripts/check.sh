@@ -13,9 +13,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (data plane, obs, qlock, core, health, journal)"
+echo "== go test -race (data plane, obs, qlock, core, health, journal, localfs, deltasync)"
 go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
 	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
-	./internal/journal/...
+	./internal/journal/... ./internal/localfs/... ./internal/deltasync/...
 
 echo "OK"

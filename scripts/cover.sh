@@ -5,6 +5,7 @@
 #   obs     >= COVER_OBS_MIN  (the metrics layer is held to a higher bar)
 #   health  >= COVER_HEALTH_MIN (so is the circuit-breaker layer)
 #   journal >= COVER_JOURNAL_MIN (and the crash-consistency journal)
+#   localfs >= COVER_LOCALFS_MIN (and the scanner/watcher layer)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,7 @@ BASELINE="${COVER_BASELINE:-74.9}"
 OBS_MIN="${COVER_OBS_MIN:-85.0}"
 HEALTH_MIN="${COVER_HEALTH_MIN:-85.0}"
 JOURNAL_MIN="${COVER_JOURNAL_MIN:-85.0}"
+LOCALFS_MIN="${COVER_LOCALFS_MIN:-85.0}"
 PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
 
 echo "== go test -coverprofile (all packages)"
@@ -47,10 +49,15 @@ journal_profile="${PROFILE}.journal"
 { head -n 1 "$PROFILE"; grep '^unidrive/internal/journal/' "$PROFILE" || true; } > "$journal_profile"
 journal=$(go tool cover -func="$journal_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 
+localfs_profile="${PROFILE}.localfs"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/localfs/' "$PROFILE" || true; } > "$localfs_profile"
+localfs=$(go tool cover -func="$localfs_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
 echo "total coverage: ${total}% (baseline ${BASELINE}%)"
 echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
 echo "internal/health coverage: ${health}% (minimum ${HEALTH_MIN}%)"
 echo "internal/journal coverage: ${journal}% (minimum ${JOURNAL_MIN}%)"
+echo "internal/localfs coverage: ${localfs}% (minimum ${LOCALFS_MIN}%)"
 
 fail=0
 if awk "BEGIN { exit !($total < $BASELINE) }"; then
@@ -67,6 +74,10 @@ if awk "BEGIN { exit !($health < $HEALTH_MIN) }"; then
 fi
 if awk "BEGIN { exit !($journal < $JOURNAL_MIN) }"; then
 	echo "FAIL: internal/journal coverage ${journal}% is below the ${JOURNAL_MIN}% bar" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($localfs < $LOCALFS_MIN) }"; then
+	echo "FAIL: internal/localfs coverage ${localfs}% is below the ${LOCALFS_MIN}% bar" >&2
 	fail=1
 fi
 exit $fail
