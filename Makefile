@@ -5,7 +5,8 @@ GO ?= go
 # runs over exactly these in `make test-race` and `make check`.
 RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
 	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
-	./internal/journal/... ./internal/localfs/... ./internal/deltasync/...
+	./internal/journal/... ./internal/localfs/... ./internal/deltasync/... \
+	./internal/daemon/... ./internal/trial/... ./internal/netsim/...
 
 # Coverage gate: the repo total must not drop below the recorded
 # baseline, and the observability layer is held to a higher bar.
@@ -14,8 +15,9 @@ COVER_OBS_MIN = 85.0
 COVER_HEALTH_MIN = 85.0
 COVER_JOURNAL_MIN = 85.0
 COVER_LOCALFS_MIN = 85.0
+COVER_DAEMON_MIN = 85.0
 
-.PHONY: build vet test test-race bench-erasure bench-sync bench chaos check cover
+.PHONY: build vet test test-race bench-erasure bench-sync bench-trial bench chaos check cover
 
 build:
 	$(GO) build ./...
@@ -40,6 +42,12 @@ bench-erasure:
 bench-sync:
 	$(GO) test -run '^$$' -bench BenchmarkSyncPass -benchmem ./internal/core/
 
+# 100k-user synthetic-population trial (§7.3 / Figure 15 analogue):
+# runs the analytic harness twice for the determinism check and
+# regenerates BENCH_trial.json at the repo root.
+bench-trial:
+	UNIDRIVE_WRITE_BENCH=1 $(GO) test -run TestWriteTrialBenchSnapshot -count=1 -timeout 30m -v ./internal/trial/
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
@@ -52,7 +60,8 @@ chaos:
 
 cover:
 	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) COVER_HEALTH_MIN=$(COVER_HEALTH_MIN) \
-		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) COVER_LOCALFS_MIN=$(COVER_LOCALFS_MIN) ./scripts/cover.sh
+		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) COVER_LOCALFS_MIN=$(COVER_LOCALFS_MIN) \
+		COVER_DAEMON_MIN=$(COVER_DAEMON_MIN) ./scripts/cover.sh
 
 # Tier-1 gate: everything a change must pass before merging.
 check: vet build test test-race

@@ -18,6 +18,14 @@
 // folder rescan every -rescan-interval catches anything a lossy
 // watcher dropped. Without watch support it falls back to a full scan
 // every -interval (the paper's periodic design).
+//
+// The `serve` subcommand instead hosts MANY tenants (user × folder
+// pairs) in one process over a shared per-cloud connection budget:
+//
+//	unidrive serve -config tenants.json [-listen :7070]
+//
+// See cmd/unidrive/serve.go for the config format and README.md for a
+// quick start.
 package main
 
 import (
@@ -41,6 +49,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "unidrive:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "unidrive:", err)
 		os.Exit(1)

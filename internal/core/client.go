@@ -131,6 +131,16 @@ type Config struct {
 	// clouds. Build one with health.NewDefaultTracker, sharing the
 	// same Clock and Obs as this config.
 	Health *health.Tracker
+	// Fair, when non-nil, is a connection scheduler shared with the
+	// other clients of a multi-tenant process (see internal/daemon):
+	// this client's transfer engine then claims every connection slot
+	// from it under the TenantID, so the process-wide per-cloud
+	// connection budget is enforced across tenants with weighted-fair
+	// arbitration. nil keeps the single-tenant behaviour.
+	Fair *transfer.FairScheduler
+	// TenantID names this client to the shared Fair scheduler.
+	// Defaults to Device.
+	TenantID string
 }
 
 func (c *Config) fillDefaults(n int) {
@@ -172,6 +182,9 @@ func (c *Config) fillDefaults(n int) {
 	}
 	if c.ReleaseTimeout <= 0 {
 		c.ReleaseTimeout = 10 * time.Second
+	}
+	if c.TenantID == "" {
+		c.TenantID = c.Device
 	}
 }
 
@@ -278,6 +291,8 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 			Clock:         cfg.Clock,
 			Obs:           cfg.Obs,
 			Health:        cfg.Health,
+			Fair:          cfg.Fair,
+			Tenant:        cfg.TenantID,
 		}),
 		// LazyBase: the client never needs the store's full-image encode
 		// on commits that don't rotate — with event-driven passes the

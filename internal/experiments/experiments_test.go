@@ -173,11 +173,21 @@ func TestFig11SmallShape(t *testing.T) {
 		t.Fatal("Fig 11 produced no UniDrive speedup note")
 	}
 	t.Logf("UniDrive e2e speedup at tiny scale: %.2fx", speedup)
+	// The baselines have no failover: a transient-fault streak that
+	// exhausts their 3 retries fails them outright, which is modeled
+	// behavior (the paper's reliability argument), so a baseline
+	// "failed" cell is tolerated here. UniDrive re-plans around
+	// faults, so its column failing means real plumbing breakage.
 	for _, row := range tables[0].Rows {
 		for i, cell := range row {
-			if cell == "failed" {
-				t.Fatalf("approach %s failed at %s", tables[0].Headers[i], row[0])
+			if cell != "failed" {
+				continue
 			}
+			if tables[0].Headers[i] == "UniDrive" {
+				t.Fatalf("UniDrive failed at %s", row[0])
+			}
+			t.Logf("baseline %s failed at %s (no-failover baseline under transient faults)",
+				tables[0].Headers[i], row[0])
 		}
 	}
 }

@@ -28,10 +28,8 @@ package netsim
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -143,33 +141,23 @@ func DefaultConfig(seed int64) Config {
 // (client devices at locations) to a set of clouds. It is safe for
 // concurrent use.
 type Env struct {
-	cfg    Config
-	clock  vclock.Clock
-	start  time.Time
-	clouds map[string]CloudProfile
-	order  []string // sorted cloud names, for stable degraded-cloud rotation
+	cfg     Config
+	clock   vclock.Clock
+	start   time.Time
+	sampler *Sampler
 
 	mu      sync.Mutex
-	rng     *rand.Rand
+	hostSeq int64
 	outages map[string]bool
 }
 
 // NewEnv creates a network environment over the given clouds.
 func NewEnv(clock vclock.Clock, cfg Config, clouds []CloudProfile) *Env {
-	m := make(map[string]CloudProfile, len(clouds))
-	order := make([]string, 0, len(clouds))
-	for _, c := range clouds {
-		m[c.Name] = c
-		order = append(order, c.Name)
-	}
-	sort.Strings(order)
 	return &Env{
 		cfg:     cfg,
 		clock:   clock,
 		start:   clock.Now(),
-		clouds:  m,
-		order:   order,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		sampler: NewSampler(cfg, clouds),
 		outages: make(map[string]bool),
 	}
 }
@@ -177,12 +165,12 @@ func NewEnv(clock vclock.Clock, cfg Config, clouds []CloudProfile) *Env {
 // Clock returns the environment's clock.
 func (e *Env) Clock() vclock.Clock { return e.clock }
 
+// Sampler returns the environment's deterministic network-condition
+// sampler.
+func (e *Env) Sampler() *Sampler { return e.sampler }
+
 // Clouds returns the sorted names of the modeled clouds.
-func (e *Env) Clouds() []string {
-	out := make([]string, len(e.order))
-	copy(out, e.order)
-	return out
-}
+func (e *Env) Clouds() []string { return e.sampler.Clouds() }
 
 // SetOutage marks a cloud as completely unavailable (or available
 // again). Used by the reliability experiments (paper Fig 14).
@@ -199,87 +187,15 @@ func (e *Env) Available(cloudName string) bool {
 	return !e.outages[cloudName]
 }
 
-func (e *Env) randFloat() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.rng.Float64()
-}
-
 // epoch returns the index of the current fluctuation epoch.
 func (e *Env) epoch() int64 {
-	return int64(e.clock.Now().Sub(e.start) / e.cfg.EpochLength)
-}
-
-// hashUnit returns a deterministic pseudo-random value in [0,1)
-// derived from the environment seed and the given labels. Equal
-// inputs always give equal outputs, which makes the fluctuation
-// process reproducible and consistent across concurrent observers.
-func (e *Env) hashUnit(labels ...any) float64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d", e.cfg.Seed)
-	for _, l := range labels {
-		fmt.Fprintf(h, "|%v", l)
-	}
-	// FNV alone does not avalanche a short trailing change (e.g. an
-	// epoch counter) into the high bits; finish with a splitmix64
-	// style mixer so nearby inputs give independent outputs.
-	x := h.Sum64()
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return float64(x>>11) / float64(1<<53)
-}
-
-// gaussPair converts two uniform draws into one standard normal via
-// Box–Muller.
-func gaussPair(u1, u2 float64) float64 {
-	if u1 <= 0 {
-		u1 = 1e-12
-	}
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-}
-
-// tempMultiplier returns the temporal bandwidth multiplier for the
-// given cloud/direction at epoch ep: a log-normal draw, with an
-// occasional deep fade, both deterministic in (seed, cloud, dir, ep).
-func (e *Env) tempMultiplier(cp CloudProfile, dir Direction, ep int64) float64 {
-	sigma := cp.Sigma
-	if sigma == 0 {
-		sigma = 0.4
-	}
-	g := gaussPair(e.hashUnit("mult1", cp.Name, dir, ep), e.hashUnit("mult2", cp.Name, dir, ep))
-	mult := math.Exp(sigma * g)
-	if e.hashUnit("fade", cp.Name, dir, ep) < cp.FadeProb {
-		depth := 0.05 + 0.25*e.hashUnit("fadedepth", cp.Name, dir, ep)
-		mult *= depth
-	}
-	return mult
-}
-
-// degradedCloud returns the name of the cloud degraded during epoch
-// ep, or "" when none is. At most one cloud is degraded per epoch,
-// which is what produces the negative cross-cloud failure correlation
-// observed in the paper's Table 1.
-func (e *Env) degradedCloud(ep int64) string {
-	if len(e.order) == 0 {
-		return ""
-	}
-	if e.hashUnit("degraded?", ep) >= e.cfg.DegradedProb {
-		return ""
-	}
-	idx := int(e.hashUnit("degradedwho", ep) * float64(len(e.order)))
-	if idx >= len(e.order) {
-		idx = len(e.order) - 1
-	}
-	return e.order[idx]
+	return e.sampler.Epoch(e.clock.Now().Sub(e.start))
 }
 
 // Degraded reports whether cloudName is in a degradation episode now.
 // Exposed for the measurement-study experiments.
 func (e *Env) Degraded(cloudName string) bool {
-	return e.degradedCloud(e.epoch()) == cloudName
+	return e.sampler.DegradedCloud(e.epoch()) == cloudName
 }
 
 // mbpsToBytesPerSec converts megabits per second to bytes per second.
@@ -293,6 +209,7 @@ type Host struct {
 	loc LocationProfile
 
 	mu          sync.Mutex
+	rng         *rand.Rand
 	activeTotal map[Direction]int
 	activeCloud map[string]map[Direction]int
 
@@ -305,16 +222,39 @@ type cloudTrafficMeter struct {
 }
 
 // NewHost attaches a new device at the given location.
+//
+// Each host gets its own RNG for the per-request draws (API-latency
+// jitter, failure sampling, break points), seeded deterministically
+// from the environment seed, the location name, and the attach
+// order. A shared environment-wide stream would make any one host's
+// outcomes depend on how its requests interleave with every OTHER
+// host's — nondeterministic the moment two hosts (or two parallel
+// tests over one Env) run concurrently. Per-host streams keep each
+// host's draw sequence its own; only that host's own concurrency can
+// reorder it.
 func (e *Env) NewHost(loc LocationProfile) *Host {
 	if loc.FailureBoost == 0 {
 		loc.FailureBoost = 1
 	}
+	e.mu.Lock()
+	seq := e.hostSeq
+	e.hostSeq++
+	e.mu.Unlock()
+	seed := int64(math.Float64bits(e.sampler.Unit("host", loc.Name, seq)))
 	return &Host{
 		env:         e,
 		loc:         loc,
+		rng:         rand.New(rand.NewSource(seed)),
 		activeTotal: make(map[Direction]int),
 		activeCloud: make(map[string]map[Direction]int),
 	}
+}
+
+// randFloat draws from the host's own deterministic stream.
+func (h *Host) randFloat() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rng.Float64()
 }
 
 // Location returns the host's location name.
@@ -377,17 +317,11 @@ func (h *Host) currentRate(cp CloudProfile, dir Direction) float64 {
 	if spatial <= 0 {
 		return 0
 	}
-	base := cp.UpMbps
 	link := h.loc.UplinkMbps
 	if dir == Download {
-		base = cp.DownMbps
 		link = h.loc.DownlinkMbps
 	}
-	mult := h.env.tempMultiplier(cp, dir, ep)
-	if h.env.degradedCloud(ep) == cp.Name {
-		mult *= h.env.cfg.DegradedRateFactor
-	}
-	cloudCap := mbpsToBytesPerSec(base * spatial * mult)
+	cloudCap := h.env.sampler.CloudRate(cp.Name, dir, spatial, ep)
 
 	h.mu.Lock()
 	nCloud := h.activeCloud[cp.Name][dir]
@@ -400,10 +334,7 @@ func (h *Host) currentRate(cp CloudProfile, dir Direction) float64 {
 		nTotal = 1
 	}
 
-	// The per-connection cap fluctuates with the same network
-	// conditions as the aggregate capacity — a congested path slows
-	// single connections too.
-	rate := mbpsToBytesPerSec(cp.PerConnMbps * mult)
+	rate := h.env.sampler.ConnRate(cp.Name, dir, ep)
 	if share := cloudCap / float64(nCloud); share < rate {
 		rate = share
 	}
@@ -419,15 +350,7 @@ func (h *Host) currentRate(cp CloudProfile, dir Direction) float64 {
 // failureProb returns the probability that a request of the given
 // size fails transiently right now.
 func (h *Host) failureProb(cp CloudProfile, size int64) float64 {
-	p := cp.BaseFailure + cp.FailurePerMB*float64(size)/(1<<20)
-	p *= h.loc.FailureBoost
-	if h.env.degradedCloud(h.env.epoch()) == cp.Name {
-		p *= h.env.cfg.DegradedFailureBoost
-	}
-	if p > 0.95 {
-		p = 0.95
-	}
-	return p
+	return h.env.sampler.FailureProb(cp.Name, h.loc.FailureBoost, size, h.env.epoch())
 }
 
 // Do simulates one Web API request from this host to the named cloud:
@@ -439,7 +362,7 @@ func (h *Host) failureProb(cp CloudProfile, size int64) float64 {
 // real broken transfers do. Metadata-only calls pass size 0.
 func (h *Host) Do(ctx context.Context, cloudName string, dir Direction, size int64) error {
 	env := h.env
-	cp, ok := env.clouds[cloudName]
+	cp, ok := env.sampler.Profile(cloudName)
 	if !ok {
 		return fmt.Errorf("netsim: unknown cloud %q", cloudName)
 	}
@@ -453,16 +376,16 @@ func (h *Host) Do(ctx context.Context, cloudName string, dir Direction, size int
 	// API setup latency with mild jitter.
 	lat := cp.APILatency
 	if lat > 0 {
-		jitter := 0.5 + env.randFloat()
+		jitter := 0.5 + h.randFloat()
 		env.clock.Sleep(time.Duration(float64(lat) * jitter))
 	}
 
 	// Sample transient failure and, if failing, where in the
 	// transfer the connection breaks.
-	fails := env.randFloat() < h.failureProb(cp, size)
+	fails := h.randFloat() < h.failureProb(cp, size)
 	failPoint := int64(-1)
 	if fails {
-		failPoint = int64(env.randFloat() * float64(size))
+		failPoint = int64(h.randFloat() * float64(size))
 	}
 
 	h.acquire(cloudName, dir)

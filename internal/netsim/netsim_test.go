@@ -185,15 +185,15 @@ func TestFailuresAreSizeDependent(t *testing.T) {
 func TestTempMultiplierDeterministicAndVarying(t *testing.T) {
 	env := testEnv(t, 42)
 	cp := FiveClouds()[0]
-	a := env.tempMultiplier(cp, Upload, 7)
-	b := env.tempMultiplier(cp, Upload, 7)
+	a := env.Sampler().TempMultiplier(cp.Name, Upload, 7)
+	b := env.Sampler().TempMultiplier(cp.Name, Upload, 7)
 	if a != b {
 		t.Fatal("multiplier not deterministic for equal epoch")
 	}
 	// Across epochs the multiplier must actually vary.
 	var vals []float64
 	for ep := int64(0); ep < 200; ep++ {
-		vals = append(vals, env.tempMultiplier(cp, Upload, ep))
+		vals = append(vals, env.Sampler().TempMultiplier(cp.Name, Upload, ep))
 	}
 	if stats.Max(vals)/stats.Min(vals) < 3 {
 		t.Fatalf("multiplier range too tight: min=%v max=%v", stats.Min(vals), stats.Max(vals))
@@ -206,7 +206,7 @@ func TestTempMultiplierDiffersAcrossSeeds(t *testing.T) {
 	cp := FiveClouds()[0]
 	same := 0
 	for ep := int64(0); ep < 50; ep++ {
-		if e1.tempMultiplier(cp, Upload, ep) == e2.tempMultiplier(cp, Upload, ep) {
+		if e1.Sampler().TempMultiplier(cp.Name, Upload, ep) == e2.Sampler().TempMultiplier(cp.Name, Upload, ep) {
 			same++
 		}
 	}
@@ -219,10 +219,10 @@ func TestDegradedCloudAtMostOne(t *testing.T) {
 	env := testEnv(t, 3)
 	seen := make(map[string]bool)
 	for ep := int64(0); ep < 500; ep++ {
-		name := env.degradedCloud(ep)
+		name := env.Sampler().DegradedCloud(ep)
 		if name != "" {
 			seen[name] = true
-			if _, ok := env.clouds[name]; !ok {
+			if _, ok := env.Sampler().Profile(name); !ok {
 				t.Fatalf("degraded cloud %q not a known cloud", name)
 			}
 		}

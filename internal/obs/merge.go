@@ -1,0 +1,61 @@
+package obs
+
+import "sort"
+
+// MergeSnapshots combines per-registry snapshots into one fleet
+// aggregate — the rollup the multi-tenant daemon serves at
+// /debug/unidrive. Counters and per-op outcome/byte totals add;
+// histograms merge bucket-wise so the aggregate quantiles are those
+// of the combined sample distribution, not an average of per-tenant
+// quantiles; gauges add too, which is the meaningful rollup for the
+// gauges this codebase records (occupancy, queue depth, goodput —
+// all extensive quantities).
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	type opIdx struct{ cloud, op string }
+	ops := make(map[opIdx]*OpSnapshot)
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			if out.Gauges == nil {
+				out.Gauges = make(map[string]float64)
+			}
+			out.Gauges[name] += v
+		}
+		for name, h := range s.Histograms {
+			if out.Histograms == nil {
+				out.Histograms = make(map[string]HistogramSnapshot)
+			}
+			out.Histograms[name] = mergeHistogramSnapshots(out.Histograms[name], h)
+		}
+		for _, row := range s.Ops {
+			k := opIdx{row.Cloud, row.Op}
+			acc, ok := ops[k]
+			if !ok {
+				acc = &OpSnapshot{Cloud: row.Cloud, Op: row.Op, Outcomes: make(map[string]int64)}
+				ops[k] = acc
+			}
+			for o, n := range row.Outcomes {
+				acc.Outcomes[o] += n
+			}
+			acc.BytesUp += row.BytesUp
+			acc.BytesDown += row.BytesDown
+			acc.Latency = mergeHistogramSnapshots(acc.Latency, row.Latency)
+		}
+	}
+	for _, acc := range ops {
+		out.Ops = append(out.Ops, *acc)
+	}
+	sort.Slice(out.Ops, func(i, j int) bool {
+		if out.Ops[i].Cloud != out.Ops[j].Cloud {
+			return out.Ops[i].Cloud < out.Ops[j].Cloud
+		}
+		return out.Ops[i].Op < out.Ops[j].Op
+	})
+	return out
+}

@@ -1,0 +1,231 @@
+package transfer
+
+import (
+	"sync"
+
+	"unidrive/internal/obs"
+)
+
+// FairScheduler arbitrates per-cloud connection slots among the
+// tenants of one process. Every Engine in a multi-tenant daemon keeps
+// its own plans, breakers, and metrics, but each launched transfer
+// must additionally claim a (cloud, tenant) slot here, so the
+// process-wide connection budget to each cloud is enforced once and
+// shared fairly instead of multiplying by the number of tenants.
+//
+// The policy is weighted max-min with work conservation:
+//
+//   - A tenant's fair share on a cloud is conns·w/W (at least 1),
+//     where W sums the weights of the tenants currently contending
+//     for that cloud — holding slots or waiting for one. Shares
+//     therefore adapt as tenants come and go.
+//   - A tenant under its share gets any free slot.
+//   - A tenant at or above its share may exceed it — the scheduler is
+//     work-conserving — but only while no other tenant is waiting
+//     below its own share. The moment an under-share tenant waits,
+//     over-share grants stop, so every slot freed by a completion
+//     falls to the waiter.
+//
+// That last rule is the starvation bound: a saturating tenant holds
+// at most conns slots on a cloud, so a newly active tenant reaches
+// its full share within at most conns block completions of that cloud
+// — no preemption needed, transfers are never aborted.
+//
+// Waiting is advisory and edge-triggered: a refused Acquire leaves a
+// waiting mark that biases future grants, and Changed returns a
+// channel closed on the next state change so refused engines can
+// sleep instead of spinning. Engines clear their marks with EndBatch
+// when a batch finishes; a stale mark meanwhile only makes the
+// scheduler less work-conserving, never unfair.
+type FairScheduler struct {
+	mu      sync.Mutex
+	conns   int
+	reg     *obs.Registry
+	weights map[string]float64
+	held    map[string]map[string]int  // cloud -> tenant -> slots held
+	waiting map[string]map[string]bool // cloud -> tenant -> refused and not yet served
+	changed chan struct{}
+}
+
+// NewFairScheduler creates a scheduler granting at most connsPerCloud
+// concurrent slots per cloud across all tenants. reg (which may be
+// nil) receives the scheduler-wide grant/deny counters.
+func NewFairScheduler(connsPerCloud int, reg *obs.Registry) *FairScheduler {
+	if connsPerCloud <= 0 {
+		connsPerCloud = DefaultConnsPerCloud
+	}
+	return &FairScheduler{
+		conns:   connsPerCloud,
+		reg:     reg,
+		weights: make(map[string]float64),
+		held:    make(map[string]map[string]int),
+		waiting: make(map[string]map[string]bool),
+		changed: make(chan struct{}),
+	}
+}
+
+// Conns returns the per-cloud slot budget.
+func (f *FairScheduler) Conns() int { return f.conns }
+
+// SetWeight sets the tenant's scheduling weight (its quota relative
+// to other tenants). Weights default to 1; w <= 0 resets to the
+// default.
+func (f *FairScheduler) SetWeight(tenant string, w float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w <= 0 {
+		delete(f.weights, tenant)
+	} else {
+		f.weights[tenant] = w
+	}
+	f.signalLocked()
+}
+
+func (f *FairScheduler) weightLocked(tenant string) float64 {
+	if w, ok := f.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// shareLocked computes the tenant's current fair share on the cloud:
+// its weight's fraction of the slot budget over all contenders
+// (holders and waiters, plus the asking tenant itself), floored, but
+// never below one slot — every contender may always make progress.
+func (f *FairScheduler) shareLocked(cloudName, tenant string) int {
+	total := f.weightLocked(tenant)
+	for u := range f.held[cloudName] {
+		if u != tenant {
+			total += f.weightLocked(u)
+		}
+	}
+	for u := range f.waiting[cloudName] {
+		if u != tenant && f.held[cloudName][u] == 0 {
+			total += f.weightLocked(u)
+		}
+	}
+	s := int(float64(f.conns) * f.weightLocked(tenant) / total)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// grantableLocked reports whether the tenant may take a free slot on
+// the cloud right now under the fairness policy (a free slot must
+// exist; the caller checks occupancy).
+func (f *FairScheduler) grantableLocked(cloudName, tenant string) bool {
+	if f.held[cloudName][tenant] < f.shareLocked(cloudName, tenant) {
+		return true
+	}
+	// At or above share: work-conserving grant, unless an under-share
+	// tenant is waiting — then the free slot is reserved for it.
+	for u := range f.waiting[cloudName] {
+		if u != tenant && f.held[cloudName][u] < f.shareLocked(cloudName, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire claims one slot for (cloud, tenant). On refusal it leaves a
+// waiting mark — reserving freed capacity for this tenant until it is
+// served or calls EndBatch — and returns false; the caller should
+// block on Changed and retry.
+func (f *FairScheduler) Acquire(cloudName, tenant string) bool {
+	return f.acquire(cloudName, tenant, true)
+}
+
+// TryAcquire is Acquire without the waiting mark: refusal reserves
+// nothing. Hedged duplicate requests use it — a hedge is opportunistic
+// spare capacity and must never hold back another tenant's real work.
+func (f *FairScheduler) TryAcquire(cloudName, tenant string) bool {
+	return f.acquire(cloudName, tenant, false)
+}
+
+func (f *FairScheduler) acquire(cloudName, tenant string, markWaiting bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.held[cloudName]
+	used := 0
+	for _, n := range h {
+		used += n
+	}
+	if used < f.conns && f.grantableLocked(cloudName, tenant) {
+		if h == nil {
+			h = make(map[string]int)
+			f.held[cloudName] = h
+		}
+		h[tenant]++
+		if w := f.waiting[cloudName]; w[tenant] {
+			delete(w, tenant)
+		}
+		f.reg.Counter("fair.granted").Inc()
+		// A served waiter shrinks the contender set and can lift the
+		// over-share embargo for everyone else.
+		f.signalLocked()
+		return true
+	}
+	if markWaiting {
+		w := f.waiting[cloudName]
+		if w == nil {
+			w = make(map[string]bool)
+			f.waiting[cloudName] = w
+		}
+		w[tenant] = true
+	}
+	f.reg.Counter("fair.denied").Inc()
+	return false
+}
+
+// Release returns one slot for (cloud, tenant) and wakes waiters.
+func (f *FairScheduler) Release(cloudName, tenant string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.held[cloudName]
+	if h[tenant] > 0 {
+		h[tenant]--
+		if h[tenant] == 0 {
+			delete(h, tenant)
+		}
+	}
+	f.signalLocked()
+}
+
+// EndBatch clears the tenant's waiting marks on every cloud. Engines
+// call it when a batch returns so a tenant with no work in flight
+// stops reserving freed capacity.
+func (f *FairScheduler) EndBatch(tenant string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.waiting {
+		delete(w, tenant)
+	}
+	f.signalLocked()
+}
+
+// Changed returns a channel closed on the next scheduler state change
+// (grant, release, weight change, or batch end). Capture it BEFORE a
+// final Acquire attempt and block on it after a refusal: any change
+// between the capture and the block still closes the captured
+// channel, so the wakeup cannot be lost.
+func (f *FairScheduler) Changed() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.changed
+}
+
+// Held reports the slots currently held by (cloud, tenant) — test and
+// debug introspection.
+func (f *FairScheduler) Held(cloudName, tenant string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.held[cloudName][tenant]
+}
+
+// signalLocked closes the current generation's channel and starts a
+// new one — a broadcast wakeup with no waiter registry.
+func (f *FairScheduler) signalLocked() {
+	close(f.changed)
+	f.changed = make(chan struct{})
+}

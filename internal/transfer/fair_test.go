@@ -1,0 +1,335 @@
+package transfer
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudsim"
+	"unidrive/internal/obs"
+	"unidrive/internal/sched"
+)
+
+// TestFairSchedulerStarvationBound drives the scheduler through the
+// exact scenario of the starvation-bound claim: tenant A saturates a
+// cloud, tenant B arrives, and every slot freed by one of A's
+// completions must fall to B until B holds its full fair share — so B
+// reaches quota within share(B) <= conns completions, with zero
+// preemption.
+func TestFairSchedulerStarvationBound(t *testing.T) {
+	const conns = 5
+	f := NewFairScheduler(conns, nil)
+	// fill models a dispatcher: keep asking until refused, so an
+	// active tenant always has a standing waiting mark when denied.
+	fill := func(tenant string) (granted int) {
+		for f.Acquire("c1", tenant) {
+			granted++
+		}
+		return granted
+	}
+	if got := fill("A"); got != conns {
+		t.Fatalf("A got %d slots of an empty cloud, want %d", got, conns)
+	}
+	if fill("B") != 0 {
+		t.Fatal("B granted a slot on a full cloud")
+	}
+	// Two equal-weight contenders: share = floor(5/2) = 2 each.
+	const shareB = 2
+	completions := 0
+	for f.Held("c1", "B") < shareB {
+		// One of A's transfers completes...
+		f.Release("c1", "A")
+		completions++
+		// ...and A's dispatcher immediately tries to re-take the slot.
+		// B waits under its share, so the over-share grant must be
+		// refused and the slot reserved for B.
+		if f.Acquire("c1", "A") {
+			t.Fatalf("A re-took the freed slot over waiting tenant B (completion %d)", completions)
+		}
+		if fill("B") != 1 {
+			t.Fatalf("B refused its reserved free slot (completion %d)", completions)
+		}
+		if completions > conns {
+			t.Fatalf("B not at share after %d completions; starvation bound broken", completions)
+		}
+	}
+	if completions > shareB {
+		t.Fatalf("B needed %d completions to reach share %d", completions, shareB)
+	}
+	// With B at its share, a freed slot is again grantable to A
+	// (work conservation resumes).
+	f.Release("c1", "A")
+	if !f.Acquire("c1", "A") {
+		t.Fatal("A denied a free slot with no under-share waiter")
+	}
+}
+
+// TestFairSchedulerWeighted checks that quotas follow weights: with
+// conns=6 and weights 2:1, both dispatchers contending converge to
+// held slots 4 and 2.
+func TestFairSchedulerWeighted(t *testing.T) {
+	f := NewFairScheduler(6, nil)
+	f.SetWeight("heavy", 2)
+	fill := func(tenant string) {
+		for f.Acquire("c1", tenant) {
+		}
+	}
+	fill("heavy")
+	if f.Held("c1", "heavy") != 6 {
+		t.Fatalf("heavy holds %d of an empty cloud, want 6", f.Held("c1", "heavy"))
+	}
+	fill("light")
+	// Drive completions of the saturator; after each, both
+	// dispatchers re-contend. The system must settle at the weighted
+	// shares 4:2 and stay there.
+	for i := 0; i < 10; i++ {
+		f.Release("c1", "heavy")
+		fill("light")
+		fill("heavy")
+	}
+	if h, l := f.Held("c1", "heavy"), f.Held("c1", "light"); h != 4 || l != 2 {
+		t.Fatalf("settled at heavy=%d light=%d, want 4/2", h, l)
+	}
+}
+
+// TestFairSchedulerTryAcquireLeavesNoMark: a refused TryAcquire (the
+// hedge path) must not reserve freed capacity, while a refused
+// Acquire must.
+func TestFairSchedulerTryAcquireLeavesNoMark(t *testing.T) {
+	f := NewFairScheduler(2, nil)
+	f.Acquire("c1", "A")
+	f.Acquire("c1", "A")
+	if f.TryAcquire("c1", "B") {
+		t.Fatal("TryAcquire granted on full cloud")
+	}
+	f.Release("c1", "A")
+	// No waiting mark from B: A may re-take the slot (work conserving).
+	if !f.Acquire("c1", "A") {
+		t.Fatal("A denied although B left no waiting mark")
+	}
+	if f.Acquire("c1", "B") {
+		t.Fatal("B granted on full cloud")
+	}
+	f.Release("c1", "A")
+	// Now B's Acquire refusal did leave a mark: the freed slot is B's.
+	if f.Acquire("c1", "A") {
+		t.Fatal("A re-took the slot over a marked waiter")
+	}
+	if !f.Acquire("c1", "B") {
+		t.Fatal("B denied its reserved slot")
+	}
+	// EndBatch clears B's remaining marks so A is unconstrained again.
+	if f.Acquire("c1", "B") {
+		t.Fatal("B granted on full cloud")
+	}
+	f.EndBatch("B")
+	f.Release("c1", "B")
+	if !f.Acquire("c1", "A") {
+		t.Fatal("A denied after the waiter ended its batch")
+	}
+}
+
+// TestFairSchedulerChangedBroadcast: the Changed generation closes on
+// releases, so refused engines sleeping on it always wake.
+func TestFairSchedulerChangedBroadcast(t *testing.T) {
+	f := NewFairScheduler(1, nil)
+	f.Acquire("c1", "A")
+	ch := f.Changed()
+	select {
+	case <-ch:
+		t.Fatal("channel closed before any state change")
+	default:
+	}
+	done := make(chan struct{})
+	go func() {
+		<-ch
+		close(done)
+	}()
+	f.Release("c1", "A")
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("release did not wake the waiter")
+	}
+}
+
+// fairRig builds one tenant's stack: its own stores (a tenant has its
+// own cloud accounts), Flaky wrappers with latency so transfers
+// occupy slots for real time, its own registry — and an engine bound
+// to the shared FairScheduler.
+type fairRig struct {
+	stores []*cloudsim.Store
+	engine *Engine
+	names  []string
+	reg    *obs.Registry
+}
+
+func newFairRig(t *testing.T, tenant string, fair *FairScheduler, latency time.Duration) *fairRig {
+	t.Helper()
+	r := &fairRig{reg: obs.NewRegistry()}
+	var clouds []cloud.Interface
+	for i := 0; i < 5; i++ {
+		st := cloudsim.NewStore(fmt.Sprintf("c%d", i), 0)
+		fl := cloudsim.NewFlaky(cloudsim.NewDirect(st), 0, int64(i+1))
+		fl.SetLatency(latency, latency/4)
+		r.stores = append(r.stores, st)
+		r.names = append(r.names, st.Name())
+		clouds = append(clouds, fl)
+	}
+	r.engine = New(clouds, sched.NewProber(0), Config{
+		ConnsPerCloud: fair.Conns(),
+		Fair:          fair,
+		Tenant:        tenant,
+		Obs:           r.reg,
+	})
+	return r
+}
+
+func (r *fairRig) upload(t *testing.T, segs int, size int) error {
+	t.Helper()
+	coder := paperCoder(t)
+	items := make([]UploadItem, 0, segs)
+	for s := 0; s < segs; s++ {
+		seg := make([]byte, size)
+		rand.New(rand.NewSource(int64(s + 1))).Read(seg)
+		plan, err := sched.NewUploadPlan(paperParams, r.names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, UploadItem{
+			Plan:  plan,
+			SegID: fmt.Sprintf("seg%d", s),
+			Src:   coderSource(t, coder, seg),
+		})
+	}
+	_, err := r.engine.UploadBatch(context.Background(), items, nil)
+	return err
+}
+
+// TestFairShareIsolationUnderSaturation is the engine-level half of
+// the fair-share satellite: tenant A saturates the shared per-cloud
+// connection budget with a long batch; tenant B arrives mid-flight
+// with a small one. B must neither deadlock nor wait for A's whole
+// queue — it finishes while A is still uploading — and the shared
+// scheduler must have actually refused over-share grants (i.e. there
+// was real contention, not just idle capacity). Runs under -race via
+// the transfer race list.
+func TestFairShareIsolationUnderSaturation(t *testing.T) {
+	sharedReg := obs.NewRegistry()
+	fair := NewFairScheduler(2, sharedReg)
+	a := newFairRig(t, "tenantA", fair, 8*time.Millisecond)
+	b := newFairRig(t, "tenantB", fair, 8*time.Millisecond)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var aErr error
+	var aDone time.Time
+	go func() {
+		defer wg.Done()
+		aErr = a.upload(t, 16, 3000)
+		aDone = time.Now()
+	}()
+	// Let A soak up the shared slots before B shows up.
+	time.Sleep(12 * time.Millisecond)
+	bErr := b.upload(t, 2, 3000)
+	bDone := time.Now()
+	wg.Wait()
+
+	if aErr != nil || bErr != nil {
+		t.Fatalf("uploads failed: a=%v b=%v", aErr, bErr)
+	}
+	if !bDone.Before(aDone) {
+		t.Fatal("small tenant B finished after saturating tenant A — B was starved behind A's queue")
+	}
+	if sharedReg.Snapshot().Counter("fair.denied") == 0 {
+		t.Fatal("scheduler never denied a grant — no contention was exercised")
+	}
+	// All slots returned: the scheduler is drained.
+	for _, name := range a.names {
+		for _, tenant := range []string{"tenantA", "tenantB"} {
+			if h := fair.Held(name, tenant); h != 0 {
+				t.Fatalf("%s still holds %d slots on %s after both batches", tenant, h, name)
+			}
+		}
+	}
+	// Tenant B's blocks landed in B's own stores (separate accounts).
+	total := 0
+	for _, st := range b.stores {
+		total += st.FileCount()
+	}
+	if total < paperParams.NormalBlocks()*2 {
+		t.Fatalf("tenant B's stores hold %d blocks, want >= %d", total, paperParams.NormalBlocks()*2)
+	}
+}
+
+// TestFairDownloadContention drives the download path through the
+// shared scheduler: A's long download batch saturates the slots while
+// B downloads a segment — B must complete and the drained scheduler
+// must hold nothing.
+func TestFairDownloadContention(t *testing.T) {
+	sharedReg := obs.NewRegistry()
+	fair := NewFairScheduler(2, sharedReg)
+	a := newFairRig(t, "tenantA", fair, 6*time.Millisecond)
+	b := newFairRig(t, "tenantB", fair, 6*time.Millisecond)
+	if err := a.upload(t, 10, 3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.upload(t, 2, 3000); err != nil {
+		t.Fatal(err)
+	}
+
+	download := func(r *fairRig, segs int) error {
+		items := make([]DownloadItem, 0, segs)
+		for s := 0; s < segs; s++ {
+			locations := map[int][]string{}
+			for blockID := 0; blockID < paperParams.CodeN(); blockID++ {
+				for _, st := range r.stores {
+					if _, err := cloudsim.NewDirect(st).Download(context.Background(),
+						r.engine.BlockPath(fmt.Sprintf("seg%d", s), blockID)); err == nil {
+						locations[blockID] = append(locations[blockID], st.Name())
+					}
+				}
+			}
+			plan, err := sched.NewDownloadPlan(paperParams.K, locations)
+			if err != nil {
+				return err
+			}
+			items = append(items, DownloadItem{Plan: plan, SegID: fmt.Sprintf("seg%d", s)})
+		}
+		res, err := r.engine.DownloadBatch(context.Background(), items)
+		if err != nil {
+			return err
+		}
+		for i, m := range res {
+			if len(m) < paperParams.K {
+				return fmt.Errorf("segment %d: only %d blocks", i, len(m))
+			}
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var aErr error
+	go func() {
+		defer wg.Done()
+		aErr = download(a, 10)
+	}()
+	time.Sleep(8 * time.Millisecond)
+	bErr := download(b, 2)
+	wg.Wait()
+	if aErr != nil || bErr != nil {
+		t.Fatalf("downloads failed: a=%v b=%v", aErr, bErr)
+	}
+	for _, name := range a.names {
+		for _, tenant := range []string{"tenantA", "tenantB"} {
+			if h := fair.Held(name, tenant); h != 0 {
+				t.Fatalf("%s still holds %d slots on %s after the batches", tenant, h, name)
+			}
+		}
+	}
+}

@@ -79,6 +79,16 @@ type Config struct {
 	// 30s, far above any healthy block time, so hedging effectively
 	// waits for real latency data unless a cloud is truly stuck.
 	HedgeFallbackDelay time.Duration
+	// Fair, when non-nil, is a weighted-fair connection scheduler
+	// shared by every engine in the process (one engine per tenant):
+	// each launched transfer additionally claims a (cloud, Tenant)
+	// slot from it, so the process-wide per-cloud connection budget is
+	// enforced once and one tenant saturating a cloud cannot starve
+	// the rest. nil preserves the single-tenant behaviour exactly.
+	Fair *FairScheduler
+	// Tenant names this engine's owner to the shared scheduler (the
+	// daemon uses the tenant ID). Only meaningful with Fair set.
+	Tenant string
 }
 
 func (c *Config) fillDefaults() {
@@ -186,6 +196,11 @@ type dispatcher struct {
 	dead    map[string]bool
 	active  int
 	results chan result
+	// fairDenied records that the last dispatch pass was refused a
+	// slot by the shared scheduler; with nothing in flight the batch
+	// then blocks on FairScheduler.Changed instead of spinning (or,
+	// worse, returning with work left).
+	fairDenied bool
 }
 
 func (e *Engine) newDispatcher() *dispatcher {
@@ -212,13 +227,54 @@ func (d *dispatcher) take(cloudName string) {
 	reg.Gauge("transfer.active").Set(float64(d.active))
 }
 
-// release returns a connection slot and publishes the new occupancy.
+// release returns a connection slot (local and shared) and publishes
+// the new occupancy. Every in-flight transfer holds exactly one
+// shared-scheduler slot, claimed by dispatch or the hedge path before
+// launch.
 func (d *dispatcher) release(cloudName string) {
 	d.idle[cloudName]++
 	d.active--
+	d.releaseFair(cloudName)
 	reg := d.e.cfg.Obs
 	reg.Gauge("transfer.occupancy." + cloudName).Set(float64(d.e.cfg.ConnsPerCloud - d.idle[cloudName]))
 	reg.Gauge("transfer.active").Set(float64(d.active))
+}
+
+// acquireFair claims a shared-scheduler slot for the cloud, or
+// records the refusal. Always true without a shared scheduler.
+func (d *dispatcher) acquireFair(cloudName string) bool {
+	f := d.e.cfg.Fair
+	if f == nil {
+		return true
+	}
+	if f.Acquire(cloudName, d.e.cfg.Tenant) {
+		return true
+	}
+	d.fairDenied = true
+	d.e.cfg.Obs.Counter("transfer.fair.denied").Inc()
+	return false
+}
+
+// releaseFair returns a shared-scheduler slot, if one is in use.
+func (d *dispatcher) releaseFair(cloudName string) {
+	if f := d.e.cfg.Fair; f != nil {
+		f.Release(cloudName, d.e.cfg.Tenant)
+	}
+}
+
+// awaitFair blocks until the shared scheduler's state changes (or ctx
+// ends) after a refused dispatch with nothing in flight. It returns
+// true when the caller should re-dispatch. The Changed generation is
+// captured before one more dispatch attempt by the caller pattern in
+// Upload/DownloadBatch, so wakeups cannot be lost.
+func (e *Engine) awaitFair(ctx context.Context, ch <-chan struct{}) bool {
+	e.cfg.Obs.Counter("transfer.fair.waits").Inc()
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // retryPolicy builds the per-block retry policy using the engine's
@@ -384,6 +440,15 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 				if checkStop() {
 					return
 				}
+				if len(pending[name]) == 0 {
+					break
+				}
+				// The shared slot is claimed BEFORE NextBlock: NextBlock
+				// assigns the block to this cloud, and a refusal after
+				// the fact would leave it assigned with no transfer.
+				if !d.acquireFair(name) {
+					break
+				}
 				q := pending[name]
 				dispatched := false
 				for len(q) > 0 {
@@ -400,14 +465,38 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 				}
 				pending[name] = q
 				if !dispatched {
+					d.releaseFair(name)
 					break
 				}
 			}
 		}
 	}
 
+	if f := e.cfg.Fair; f != nil {
+		defer f.EndBatch(e.cfg.Tenant)
+	}
 	dispatch()
-	for d.active > 0 {
+	for {
+		if d.active == 0 {
+			if stopped || ctx.Err() != nil || !d.fairDenied {
+				break
+			}
+			// Work remains but every slot belongs to other tenants.
+			// Capture the change generation, retry once (a slot may
+			// have freed since the refusal), then sleep on it.
+			ch := e.cfg.Fair.Changed()
+			d.fairDenied = false
+			dispatch()
+			if d.active > 0 || !d.fairDenied {
+				continue
+			}
+			if !e.awaitFair(ctx, ch) {
+				break
+			}
+			d.fairDenied = false
+			dispatch()
+			continue
+		}
 		r := <-d.results
 		d.release(r.cloudName)
 		reg.Counter("transfer.up.retries").Add(int64(r.attempts - 1))
@@ -680,6 +769,13 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 				continue
 			}
 			for d.idle[name] > 0 {
+				if len(pending[name]) == 0 {
+					break
+				}
+				// Shared slot before NextBlock, as in the upload path.
+				if !d.acquireFair(name) {
+					break
+				}
 				q := pending[name]
 				dispatched := false
 				for len(q) > 0 {
@@ -695,6 +791,7 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 				}
 				pending[name] = q
 				if !dispatched {
+					d.releaseFair(name)
 					break
 				}
 			}
@@ -736,7 +833,14 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 				if d.dead[spare] || d.idle[spare] <= 0 || !e.admits(spare) {
 					continue
 				}
+				// Hedges take spare shared capacity opportunistically:
+				// TryAcquire leaves no waiting mark, so a refused hedge
+				// never reserves capacity against other tenants.
+				if f := e.cfg.Fair; f != nil && !f.TryAcquire(spare, e.cfg.Tenant) {
+					continue
+				}
 				if !items[key.item].Plan.Hedge(key.blockID, spare) {
+					d.releaseFair(spare)
 					continue
 				}
 				launch(key.item, spare, key.blockID)
@@ -770,8 +874,30 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 	batchStart := e.cfg.Clock.Now()
 	var bytesOK int64
 	notified := make([]bool, len(items))
+	if f := e.cfg.Fair; f != nil {
+		defer f.EndBatch(e.cfg.Tenant)
+	}
 	dispatch()
-	for d.active > 0 {
+	for {
+		if d.active == 0 {
+			if ctx.Err() != nil || !d.fairDenied {
+				break
+			}
+			// Same lost-wakeup-free wait as the upload path: capture
+			// the generation, retry, then sleep on it.
+			ch := e.cfg.Fair.Changed()
+			d.fairDenied = false
+			dispatch()
+			if d.active > 0 || !d.fairDenied {
+				continue
+			}
+			if !e.awaitFair(ctx, ch) {
+				break
+			}
+			d.fairDenied = false
+			dispatch()
+			continue
+		}
 		deadline := hedgeDeadline()
 		var hedgeTimer <-chan time.Time
 		if due, ok := nextHedgeDue(deadline); ok {

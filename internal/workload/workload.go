@@ -88,13 +88,20 @@ func Buckets() []SizeBucket {
 	return []SizeBucket{BucketTiny, BucketMedium, BucketLarge, BucketHuge}
 }
 
+// NormSource supplies standard-normal draws; *rand.Rand satisfies
+// it, as does any deterministic generator a population harness
+// prefers to pin.
+type NormSource interface {
+	NormFloat64() float64
+}
+
 // TrialSize draws a file size from the trial's mix: log-normal body
 // (documents and photos cluster in the tens-of-KB to single-MB range)
 // with a media tail — over half of the paper's trial volume was
 // documents and multimedia.
-func TrialSize(rng *rand.Rand) int {
+func TrialSize(src NormSource) int {
 	// Log-normal with median ~120 KB, sigma 1.6.
-	size := int(math.Exp(math.Log(120<<10) + 1.6*rng.NormFloat64()))
+	size := int(math.Exp(math.Log(120<<10) + 1.6*src.NormFloat64()))
 	const min = 1 << 10
 	const max = 24 << 20
 	if size < min {

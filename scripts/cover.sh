@@ -6,6 +6,7 @@
 #   health  >= COVER_HEALTH_MIN (so is the circuit-breaker layer)
 #   journal >= COVER_JOURNAL_MIN (and the crash-consistency journal)
 #   localfs >= COVER_LOCALFS_MIN (and the scanner/watcher layer)
+#   daemon  >= COVER_DAEMON_MIN (and the multi-tenant host)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,6 +15,7 @@ OBS_MIN="${COVER_OBS_MIN:-85.0}"
 HEALTH_MIN="${COVER_HEALTH_MIN:-85.0}"
 JOURNAL_MIN="${COVER_JOURNAL_MIN:-85.0}"
 LOCALFS_MIN="${COVER_LOCALFS_MIN:-85.0}"
+DAEMON_MIN="${COVER_DAEMON_MIN:-85.0}"
 PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
 
 echo "== go test -coverprofile (all packages)"
@@ -53,11 +55,16 @@ localfs_profile="${PROFILE}.localfs"
 { head -n 1 "$PROFILE"; grep '^unidrive/internal/localfs/' "$PROFILE" || true; } > "$localfs_profile"
 localfs=$(go tool cover -func="$localfs_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 
+daemon_profile="${PROFILE}.daemon"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/daemon/' "$PROFILE" || true; } > "$daemon_profile"
+daemon=$(go tool cover -func="$daemon_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
 echo "total coverage: ${total}% (baseline ${BASELINE}%)"
 echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
 echo "internal/health coverage: ${health}% (minimum ${HEALTH_MIN}%)"
 echo "internal/journal coverage: ${journal}% (minimum ${JOURNAL_MIN}%)"
 echo "internal/localfs coverage: ${localfs}% (minimum ${LOCALFS_MIN}%)"
+echo "internal/daemon coverage: ${daemon}% (minimum ${DAEMON_MIN}%)"
 
 fail=0
 if awk "BEGIN { exit !($total < $BASELINE) }"; then
@@ -78,6 +85,10 @@ if awk "BEGIN { exit !($journal < $JOURNAL_MIN) }"; then
 fi
 if awk "BEGIN { exit !($localfs < $LOCALFS_MIN) }"; then
 	echo "FAIL: internal/localfs coverage ${localfs}% is below the ${LOCALFS_MIN}% bar" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($daemon < $DAEMON_MIN) }"; then
+	echo "FAIL: internal/daemon coverage ${daemon}% is below the ${DAEMON_MIN}% bar" >&2
 	fail=1
 fi
 exit $fail
