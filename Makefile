@@ -6,7 +6,7 @@ GO ?= go
 RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
 	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
 	./internal/journal/... ./internal/localfs/... ./internal/deltasync/... \
-	./internal/daemon/... ./internal/trial/... ./internal/netsim/...
+	./internal/daemon/... ./internal/trial/... ./internal/netsim/... ./internal/scrub/...
 
 # Coverage gate: the repo total must not drop below the recorded
 # baseline, and the observability layer is held to a higher bar.
@@ -16,8 +16,9 @@ COVER_HEALTH_MIN = 85.0
 COVER_JOURNAL_MIN = 85.0
 COVER_LOCALFS_MIN = 85.0
 COVER_DAEMON_MIN = 85.0
+COVER_SCRUB_MIN = 85.0
 
-.PHONY: build vet test test-race bench-erasure bench-sync bench-trial bench chaos check cover
+.PHONY: build vet test test-race bench-erasure bench-sync bench-trial bench chaos scrub check cover
 
 build:
 	$(GO) build ./...
@@ -51,17 +52,24 @@ bench-trial:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# Fault-injection soak: the chaos, outage, failover, hedging, and
-# crash-recovery tests under the race detector with a generous timeout.
+# Fault-injection soak: the chaos, outage, failover, hedging,
+# crash-recovery, and data-corruption tests under the race detector
+# with a generous timeout.
 chaos:
-	$(GO) test -race -timeout 15m -run 'Chaos|Outage|Failover|Hedge|Flaky|Breaker|Guard|Degraded|Crash|Recover' \
+	$(GO) test -race -timeout 15m -run 'Chaos|Outage|Failover|Hedge|Flaky|Breaker|Guard|Degraded|Crash|Recover|Corrupt|Scrub' \
 		./internal/core/... ./internal/transfer/... ./internal/health/... \
-		./internal/qlock/... ./internal/cloudsim/...
+		./internal/qlock/... ./internal/cloudsim/... ./internal/scrub/...
+
+# Integrity smoke: the anti-entropy scrubber's own suite plus the
+# end-to-end corruption/repair paths in core, race-checked.
+scrub:
+	$(GO) test -race -timeout 10m -run 'Scrub|Corrupt|Integrity|Backfill' \
+		./internal/scrub/... ./internal/core/...
 
 cover:
 	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) COVER_HEALTH_MIN=$(COVER_HEALTH_MIN) \
 		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) COVER_LOCALFS_MIN=$(COVER_LOCALFS_MIN) \
-		COVER_DAEMON_MIN=$(COVER_DAEMON_MIN) ./scripts/cover.sh
+		COVER_DAEMON_MIN=$(COVER_DAEMON_MIN) COVER_SCRUB_MIN=$(COVER_SCRUB_MIN) ./scripts/cover.sh
 
 # Tier-1 gate: everything a change must pass before merging.
 check: vet build test test-race

@@ -24,6 +24,14 @@
 //
 //	unidrive serve -config tenants.json [-listen :7070]
 //
+// The `scrub` subcommand runs one anti-entropy cycle: it verifies
+// every committed block copy's existence and CRC-32C checksum against
+// the metadata, and with -repair re-encodes and re-uploads damaged
+// copies from the surviving blocks:
+//
+//	unidrive scrub -folder ./sync -passphrase secret \
+//	         -clouds http://localhost:8081,... [-repair] [-rate 50]
+//
 // See cmd/unidrive/serve.go for the config format and README.md for a
 // quick start.
 package main
@@ -51,6 +59,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "unidrive:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scrub" {
+		if err := runScrub(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "unidrive:", err)
 			os.Exit(1)
 		}

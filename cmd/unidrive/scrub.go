@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"unidrive/internal/cloud"
+	"unidrive/internal/cloudhttp"
+	"unidrive/internal/core"
+	"unidrive/internal/localfs"
+	"unidrive/internal/obs"
+)
+
+// runScrub implements `unidrive scrub`: one anti-entropy cycle over
+// the committed metadata, verifying every block copy's existence and
+// checksum, with an optional repair pass restoring full redundancy.
+func runScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	folderPath := fs.String("folder", "./unidrive-sync", "local sync folder")
+	device := fs.String("device", hostnameDefault(), "unique device name")
+	passphrase := fs.String("passphrase", "", "metadata encryption passphrase (required)")
+	cloudList := fs.String("clouds", "", "comma-separated base URLs of cloud endpoints (required)")
+	repair := fs.Bool("repair", false, "re-encode and re-upload damaged blocks, commit refreshed placements")
+	rate := fs.Float64("rate", 0, "max block fetches per second (0 = unpaced)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *passphrase == "" {
+		return fmt.Errorf("-passphrase is required")
+	}
+	urls := strings.Split(*cloudList, ",")
+	if *cloudList == "" || len(urls) == 0 {
+		return fmt.Errorf("-clouds is required")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var clouds []cloud.Interface
+	for _, u := range urls {
+		c, err := cloudhttp.Dial(ctx, strings.TrimSpace(u), http.DefaultClient)
+		if err != nil {
+			return fmt.Errorf("dialing %s: %w", u, err)
+		}
+		clouds = append(clouds, c)
+	}
+	folder, err := localfs.NewDir(*folderPath)
+	if err != nil {
+		return err
+	}
+	client, err := core.New(clouds, folder, core.Config{
+		Device:     *device,
+		Passphrase: *passphrase,
+		ScrubRate:  *rate,
+		Obs:        obs.NewRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+
+	rep, err := client.Scrub(ctx, *repair)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scrub: %d segments, %d copies checked: %d verified, %d missing, %d corrupt\n",
+		rep.Segments, rep.BlocksChecked, rep.BlocksVerified, rep.BlocksMissing, rep.BlocksCorrupt)
+	if rep.RepairedBlocks > 0 || rep.Backfilled > 0 {
+		fmt.Printf("scrub: %d blocks repaired, %d checksums backfilled (committed: %v)\n",
+			rep.RepairedBlocks, rep.Backfilled, rep.Committed)
+	}
+	for _, c := range rep.UnknownClouds {
+		fmt.Printf("scrub: cloud %s unreachable: its copies were not checked\n", c)
+	}
+	for _, id := range rep.Unrepairable {
+		fmt.Printf("scrub: segment %s UNREPAIRABLE: fewer than K verified blocks reachable\n", id)
+	}
+	damaged := rep.BlocksMissing + rep.BlocksCorrupt
+	if damaged > 0 && !*repair {
+		fmt.Printf("scrub: %d damaged copies found; re-run with -repair to restore redundancy\n", damaged)
+	}
+	if len(rep.Unrepairable) > 0 {
+		return fmt.Errorf("scrub: %d segments unrepairable", len(rep.Unrepairable))
+	}
+	return nil
+}

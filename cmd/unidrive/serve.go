@@ -28,6 +28,13 @@ type serveConfig struct {
 	// ConnsPerCloud is the PROCESS-wide per-cloud connection budget
 	// shared by all tenants (default 5).
 	ConnsPerCloud int `json:"connsPerCloud"`
+	// ScrubInterval, as a Go duration string ("6h"), schedules a
+	// low-priority anti-entropy scrub cycle per tenant at this period;
+	// empty disables scheduled scrubbing.
+	ScrubInterval string `json:"scrubInterval"`
+	// ScrubRepair lets scheduled scrub cycles re-upload damaged blocks
+	// and commit refreshed placements, not just report them.
+	ScrubRepair bool `json:"scrubRepair"`
 	// Tenants are the hosted (user, folder) pairs.
 	Tenants []serveTenant `json:"tenants"`
 }
@@ -95,11 +102,19 @@ func runServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var scrubEvery time.Duration
+	if cfg.ScrubInterval != "" {
+		if scrubEvery, err = time.ParseDuration(cfg.ScrubInterval); err != nil {
+			return fmt.Errorf("serve: bad scrubInterval: %w", err)
+		}
+	}
 	fleetReg := obs.NewRegistry()
 	d := daemon.New(daemon.Config{
 		ConnsPerCloud: cfg.ConnsPerCloud,
 		Obs:           fleetReg,
 		HealthSeed:    time.Now().UnixNano(),
+		ScrubInterval: scrubEvery,
+		ScrubRepair:   cfg.ScrubRepair,
 	})
 
 	for _, tc := range cfg.Tenants {

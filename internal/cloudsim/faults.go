@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 type Flaky struct {
 	inner cloud.Interface
 	prob  float64
+	seed  int64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -42,6 +44,11 @@ type Flaky struct {
 	outages [][2]int
 	// stalls counts calls that entered the stall state.
 	stalls int
+	// corrupted marks paths whose content is served damaged (at-rest
+	// corruption); cleared by a successful Upload to the same path.
+	corrupted map[string]CorruptMode
+	// corruptServes counts downloads that returned damaged bytes.
+	corruptServes int
 	// injTransient / injOutage count the faults actually injected,
 	// per operation, so chaos tests can reconcile observed failures
 	// against them exactly.
@@ -53,7 +60,84 @@ var _ cloud.Interface = (*Flaky)(nil)
 
 // NewFlaky wraps inner so each call fails with probability prob.
 func NewFlaky(inner cloud.Interface, prob float64, seed int64) *Flaky {
-	return &Flaky{inner: inner, prob: prob, rng: rand.New(rand.NewSource(seed))}
+	return &Flaky{inner: inner, prob: prob, seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// CorruptMode selects the shape of at-rest corruption.
+type CorruptMode int
+
+const (
+	// CorruptBitFlip flips one bit of the content — silent rot that
+	// only a checksum can catch.
+	CorruptBitFlip CorruptMode = iota
+	// CorruptTruncate drops the second half of the content — the
+	// partial-object failure mode of interrupted uploads.
+	CorruptTruncate
+	// CorruptStale replaces the content with same-length garbage — a
+	// wrong-object overwrite (misdirected write, stale replica).
+	CorruptStale
+)
+
+// CorruptPath marks a stored object as damaged at rest: every
+// Download of the path serves a deterministically corrupted copy (the
+// same wrong bytes each time, like real bit rot) until a successful
+// Upload to the path replaces the object and clears the mark.
+func (f *Flaky) CorruptPath(path string, mode CorruptMode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.corrupted == nil {
+		f.corrupted = make(map[string]CorruptMode)
+	}
+	f.corrupted[path] = mode
+}
+
+// CorruptServes reports how many downloads returned damaged bytes.
+func (f *Flaky) CorruptServes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.corruptServes
+}
+
+// CorruptedPaths returns the paths still marked damaged, sorted.
+func (f *Flaky) CorruptedPaths() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.corrupted))
+	for p := range f.corrupted {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// corruptBytes damages data deterministically from seed: repeated
+// serves of the same rotten object must agree byte for byte.
+func corruptBytes(data []byte, mode CorruptMode, seed int64) []byte {
+	out := append([]byte(nil), data...)
+	rng := rand.New(rand.NewSource(seed))
+	switch mode {
+	case CorruptTruncate:
+		out = out[:len(out)/2]
+	case CorruptStale:
+		rng.Read(out)
+	default: // CorruptBitFlip
+		if len(out) > 0 {
+			i := rng.Intn(len(out))
+			out[i] ^= 1 << uint(rng.Intn(8))
+		}
+	}
+	return out
+}
+
+// pathSeed folds a path into the wrapper's seed so each corrupted
+// object gets its own, stable damage pattern.
+func pathSeed(seed int64, path string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(path); i++ {
+		h ^= int64(path[i])
+		h *= 1099511628211
+	}
+	return seed ^ h
 }
 
 // SetDown switches the wrapped cloud into (or out of) a full outage.
@@ -176,20 +260,43 @@ func (f *Flaky) InjectedFaults() (transient, outage CallCounts) {
 // Name implements cloud.Interface.
 func (f *Flaky) Name() string { return f.inner.Name() }
 
-// Upload implements cloud.Interface.
+// Upload implements cloud.Interface. A successful upload replaces the
+// stored object, so it clears any at-rest corruption mark on the path
+// — the repair write path of the scrubber.
 func (f *Flaky) Upload(ctx context.Context, path string, data []byte) error {
 	if err := f.fail(ctx, "upload", func(c *CallCounts) { c.Upload++ }); err != nil {
 		return err
 	}
-	return f.inner.Upload(ctx, path, data)
+	if err := f.inner.Upload(ctx, path, data); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.corrupted, path)
+	f.mu.Unlock()
+	return nil
 }
 
-// Download implements cloud.Interface.
+// Download implements cloud.Interface. Paths marked with CorruptPath
+// are served damaged.
 func (f *Flaky) Download(ctx context.Context, path string) ([]byte, error) {
 	if err := f.fail(ctx, "download", func(c *CallCounts) { c.Download++ }); err != nil {
 		return nil, err
 	}
-	return f.inner.Download(ctx, path)
+	data, err := f.inner.Download(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	mode, rotten := f.corrupted[path]
+	if rotten {
+		f.corruptServes++
+	}
+	seed := pathSeed(f.seed, path)
+	f.mu.Unlock()
+	if rotten {
+		data = corruptBytes(data, mode, seed)
+	}
+	return data, nil
 }
 
 // CreateDir implements cloud.Interface.

@@ -131,6 +131,9 @@ type Config struct {
 	// clouds. Build one with health.NewDefaultTracker, sharing the
 	// same Clock and Obs as this config.
 	Health *health.Tracker
+	// ScrubRate caps the anti-entropy scrubber's block fetches per
+	// second (see Client.Scrub); 0 leaves the scrub unpaced.
+	ScrubRate float64
 	// Fair, when non-nil, is a connection scheduler shared with the
 	// other clients of a multi-tenant process (see internal/daemon):
 	// this client's transfer engine then claims every connection slot

@@ -13,6 +13,7 @@ import (
 	"unidrive/internal/cloudsim"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
+	"unidrive/internal/obs"
 	"unidrive/internal/qlock"
 )
 
@@ -20,10 +21,11 @@ import (
 type rig struct {
 	stores []*cloudsim.Store
 	flaky  map[string][]*cloudsim.Flaky // device -> per-cloud connectors
+	regs   map[string]*obs.Registry     // device -> its metrics registry
 }
 
 func newRig(nClouds int) *rig {
-	r := &rig{flaky: make(map[string][]*cloudsim.Flaky)}
+	r := &rig{flaky: make(map[string][]*cloudsim.Flaky), regs: make(map[string]*obs.Registry)}
 	for i := 0; i < nClouds; i++ {
 		r.stores = append(r.stores, cloudsim.NewStore(fmt.Sprintf("c%d", i), 0))
 	}
@@ -42,11 +44,14 @@ func (r *rig) device(t *testing.T, name string) (*Client, *localfs.Mem) {
 		clouds = append(clouds, f)
 	}
 	r.flaky[name] = flakies
+	reg := obs.NewRegistry()
+	r.regs[name] = reg
 	c, err := New(clouds, folder, Config{
 		Device:     name,
 		Passphrase: "shared-secret",
 		Theta:      4096, // small θ so tests exercise multi-segment files
 		LockExpiry: 500 * time.Millisecond,
+		Obs:        reg,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"unidrive/internal/chunker"
+	"unidrive/internal/cloud"
 	"unidrive/internal/erasure"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
@@ -200,10 +203,14 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 		}
 	}
 	// Record the availability placements into every change that
-	// references an uploaded segment.
+	// references an uploaded segment, stamping each block's content
+	// checksum from the still-live coding buffers — the cheapest
+	// possible moment: the encoded bytes are already in memory.
 	placements := make(map[string]map[int]string, len(session.plans))
+	sources := make(map[string]*segmentSource, len(session.plans))
 	for _, p := range session.plans {
 		placements[p.seg.ID] = p.plan.Placement()
+		sources[p.seg.ID] = p.src
 	}
 	for _, ch := range changes {
 		for _, seg := range ch.Segments {
@@ -211,9 +218,10 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 			if !ok {
 				continue
 			}
+			src := sources[seg.ID]
 			seg.Blocks = seg.Blocks[:0]
 			for blockID, cloudName := range pl {
-				seg.AddBlock(blockID, cloudName)
+				seg.AddBlockSum(blockID, cloudName, src.sum(blockID))
 			}
 		}
 	}
@@ -247,7 +255,7 @@ func (c *Client) uploadReliability(ctx context.Context, session *uploadSession) 
 		updated := p.seg.Clone()
 		updated.Blocks = nil
 		for blockID, cloudName := range placement {
-			updated.AddBlock(blockID, cloudName)
+			updated.AddBlockSum(blockID, cloudName, p.src.sum(blockID))
 		}
 		relocates = append(relocates, &meta.Change{
 			Type: meta.ChangeRelocate, Path: updated.ID,
@@ -357,6 +365,18 @@ func (s *segmentSource) blocks(blockID int) ([]byte, error) {
 	return b, nil
 }
 
+// sum returns the content checksum of one coded block, encoding the
+// block on demand through blocks(). Zero (the "unknown" sentinel)
+// only for an out-of-range ID, which upstream scheduling never
+// produces.
+func (s *segmentSource) sum(blockID int) uint32 {
+	b, err := s.blocks(blockID)
+	if err != nil {
+		return 0
+	}
+	return meta.BlockSum(b)
+}
+
 // release returns the source's shard arena and block buffers to the
 // pool. The source must not serve blocks afterwards; a late blocks()
 // call would re-split and re-encode, handing out fresh buffers that
@@ -379,32 +399,120 @@ func (s *segmentSource) release() {
 }
 
 // fetchSegment downloads and decodes one segment from the
-// multi-cloud.
+// multi-cloud, verifying the reconstructed bytes against the
+// segment's content address (seg.ID) before returning them.
 func (c *Client) fetchSegment(ctx context.Context, seg *meta.Segment) ([]byte, error) {
 	if data, ok := c.cachedSegment(seg.ID); ok {
 		return data, nil
 	}
+	blocks, err := c.fetchBlocksExcluding(ctx, seg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.reconstructVerified(ctx, seg, blocks)
+}
+
+// fetchBlocksExcluding downloads any K blocks of a segment, skipping
+// the excluded block IDs, with download-time checksum verification
+// for every block that carries a stamped sum.
+func (c *Client) fetchBlocksExcluding(ctx context.Context, seg *meta.Segment, excluded map[int]bool) (map[int][]byte, error) {
 	locations := make(map[int][]string, len(seg.Blocks))
 	for _, b := range seg.Blocks {
+		if excluded[b.BlockID] {
+			continue
+		}
 		locations[b.BlockID] = append(locations[b.BlockID], b.CloudID)
 	}
 	plan, err := sched.NewDownloadPlan(seg.K, locations)
 	if err != nil {
 		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
 	}
-	blocks, err := c.engine.DownloadSegment(ctx, plan, seg.ID)
+	res, err := c.engine.DownloadBatch(ctx, []transfer.DownloadItem{
+		{Plan: plan, SegID: seg.ID, Sums: seg.Sums()},
+	})
 	if err != nil {
 		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
 	}
+	if !plan.Done() {
+		recycleBlocks(res[0])
+		if n := plan.CorruptCount(); n > 0 {
+			return nil, fmt.Errorf("core: segment %s: %w after %d corrupt block fetches: %w",
+				seg.ID, transfer.ErrSegmentUnrecoverable, n, cloud.ErrCorrupt)
+		}
+		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, transfer.ErrSegmentUnrecoverable)
+	}
+	return res[0], nil
+}
+
+// errDecodeMismatch reports decoded segment bytes failing the content
+// SHA-1. Internal only: callers retry once on a replacement block set
+// and surface cloud.ErrCorrupt if that fails too.
+var errDecodeMismatch = errors.New("core: decoded segment fails content verification")
+
+// decodeAndVerify decodes blocks into segment content, verifies the
+// result against seg.ID, and recycles the block buffers on EVERY
+// path — success, decode error, or mismatch. On a content mismatch
+// (err == errDecodeMismatch) the second result names the block IDs to
+// exclude from a retry fetch: the copies indicted by their stamped
+// checksums, or — when no checksum points a finger (pre-integrity
+// metadata) — every block of the failed set.
+func (c *Client) decodeAndVerify(seg *meta.Segment, blocks map[int][]byte) ([]byte, map[int]bool, error) {
 	coder, err := c.coder(seg.K, seg.N)
 	if err != nil {
-		return nil, err
+		recycleBlocks(blocks)
+		return nil, nil, err
 	}
 	data, err := coder.Decode(blocks, seg.Length)
 	if err != nil {
-		return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
+		recycleBlocks(blocks)
+		return nil, nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
+	}
+	if chunker.SegmentID(data) == seg.ID {
+		recycleBlocks(blocks)
+		return data, nil, nil
+	}
+	excluded := make(map[int]bool)
+	for blockID, b := range blocks {
+		if want := seg.BlockSum(blockID); want != 0 && meta.BlockSum(b) != want {
+			excluded[blockID] = true
+		}
+	}
+	if len(excluded) == 0 {
+		for blockID := range blocks {
+			excluded[blockID] = true
+		}
 	}
 	recycleBlocks(blocks)
+	c.cfg.Obs.Counter("core.decode.sha_mismatch").Inc()
+	return nil, excluded, errDecodeMismatch
+}
+
+// reconstructVerified is the decode-time last line of defense: decode
+// the fetched blocks, check the content SHA-1, and on a mismatch
+// retry once on a replacement fetch that excludes the poisoned
+// copies. Corrupt bytes never leave this function — if the retry
+// cannot produce verified content either, the caller gets a loud
+// cloud.ErrCorrupt, never silently wrong data. Consumes (recycles)
+// the passed blocks.
+func (c *Client) reconstructVerified(ctx context.Context, seg *meta.Segment, blocks map[int][]byte) ([]byte, error) {
+	data, excluded, err := c.decodeAndVerify(seg, blocks)
+	if err == nil {
+		return data, nil
+	}
+	if !errors.Is(err, errDecodeMismatch) {
+		return nil, err
+	}
+	retry, err := c.fetchBlocksExcluding(ctx, seg, excluded)
+	if err != nil {
+		return nil, fmt.Errorf("core: segment %s: content verification failed and no clean replacement blocks: %w (%v)",
+			seg.ID, cloud.ErrCorrupt, err)
+	}
+	data, _, err = c.decodeAndVerify(seg, retry)
+	if err != nil {
+		return nil, fmt.Errorf("core: segment %s: content verification failed after excluding %d suspect blocks: %w",
+			seg.ID, len(excluded), cloud.ErrCorrupt)
+	}
+	c.cfg.Obs.Counter("core.decode.exclusion_retries").Inc()
 	return data, nil
 }
 
@@ -450,7 +558,7 @@ func (c *Client) fetchFile(ctx context.Context, img *meta.Image, snap *meta.Snap
 			return nil, fmt.Errorf("core: segment %s: %w", id, err)
 		}
 		parts[i].item = len(items)
-		items = append(items, transfer.DownloadItem{Plan: plan, SegID: id})
+		items = append(items, transfer.DownloadItem{Plan: plan, SegID: id, Sums: seg.Sums()})
 		plans = append(plans, plan)
 	}
 	var fetched []map[int][]byte
@@ -461,6 +569,16 @@ func (c *Client) fetchFile(ctx context.Context, img *meta.Image, snap *meta.Snap
 			return nil, err
 		}
 	}
+	// Every fetched block set is consumed exactly once: handed to
+	// reconstructVerified (which recycles on all its paths) and nilled
+	// out. Whatever is still held when an error aborts the assembly —
+	// including sets never reached — goes back to the pool here
+	// instead of leaking.
+	defer func() {
+		for _, m := range fetched {
+			recycleBlocks(m)
+		}
+	}()
 	out := make([]byte, 0, snap.Size)
 	for i := range parts {
 		if parts[i].data != nil {
@@ -468,18 +586,20 @@ func (c *Client) fetchFile(ctx context.Context, img *meta.Image, snap *meta.Snap
 			continue
 		}
 		seg := parts[i].seg
-		if !plans[parts[i].item].Done() {
+		it := parts[i].item
+		if !plans[it].Done() {
+			if n := plans[it].CorruptCount(); n > 0 {
+				return nil, fmt.Errorf("core: segment %s: %w after %d corrupt block fetches: %w",
+					seg.ID, transfer.ErrSegmentUnrecoverable, n, cloud.ErrCorrupt)
+			}
 			return nil, fmt.Errorf("core: segment %s: %w", seg.ID, transfer.ErrSegmentUnrecoverable)
 		}
-		coder, err := c.coder(seg.K, seg.N)
+		blocks := fetched[it]
+		fetched[it] = nil
+		data, err := c.reconstructVerified(ctx, seg, blocks)
 		if err != nil {
 			return nil, err
 		}
-		data, err := coder.Decode(fetched[parts[i].item], seg.Length)
-		if err != nil {
-			return nil, fmt.Errorf("core: segment %s: %w", seg.ID, err)
-		}
-		recycleBlocks(fetched[parts[i].item])
 		out = append(out, data...)
 	}
 	return out, nil

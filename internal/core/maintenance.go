@@ -144,38 +144,59 @@ func sortInts(xs []int) {
 	}
 }
 
+// FsckReport is the result of a metadata-vs-clouds existence check.
+type FsckReport struct {
+	// AtRisk lists segments with fewer than K blocks confirmed or
+	// presumed present — candidates for Scrub's repair pass.
+	AtRisk []string
+	// UnknownClouds lists clouds whose block listing failed; their
+	// blocks were presumed present, so the verdict is partial and a
+	// clean AtRisk does not certify those clouds' copies.
+	UnknownClouds []string
+}
+
 // Fsck verifies that every segment in the committed metadata still
-// has at least K reachable blocks (spot-checking existence via List
-// on the block directory of each referenced cloud) and returns the
-// IDs of segments at or below the recovery threshold. It is a
-// read-only health check.
-func (c *Client) Fsck(ctx context.Context) (atRisk []string, err error) {
+// has at least K reachable blocks (spot-checking existence via one
+// List per referenced cloud). It is a read-only health check; at-risk
+// segments are repaired by Scrub with repair enabled.
+//
+// A cloud whose listing fails is UNKNOWN, not empty: its blocks are
+// presumed present (so an unreachable cloud does not flood the report
+// with spurious at-risk segments) and the cloud is named in
+// UnknownClouds so the caller knows the verdict is partial.
+func (c *Client) Fsck(ctx context.Context) (*FsckReport, error) {
 	img, err := c.store.Fetch(ctx)
 	if err != nil {
 		return nil, err
 	}
-	// One List per cloud covers every block.
+	rep := &FsckReport{}
 	present := make(map[string]bool)
-	for _, cl := range c.clouds {
-		entries, err := cl.List(ctx, c.engine.BlockDir())
+	unknown := make(map[string]bool)
+	for _, name := range c.engine.CloudNames() {
+		names, err := c.engine.ListBlockNames(ctx, name)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			unknown[name] = true
+			rep.UnknownClouds = append(rep.UnknownClouds, name)
 			continue
 		}
-		for _, e := range entries {
-			present[cl.Name()+"/"+e.Name] = true
+		for _, n := range names {
+			present[name+"/"+n] = true
 		}
 	}
 	for _, segID := range sortedSegmentIDs(img) {
 		seg, _ := img.Segment(segID)
 		live := 0
 		for _, b := range seg.Blocks {
-			if present[b.CloudID+"/"+meta.BlockName(segID, b.BlockID)] {
+			if unknown[b.CloudID] || present[b.CloudID+"/"+meta.BlockName(segID, b.BlockID)] {
 				live++
 			}
 		}
 		if live < seg.K {
-			atRisk = append(atRisk, segID)
+			rep.AtRisk = append(rep.AtRisk, segID)
 		}
 	}
-	return atRisk, nil
+	return rep, nil
 }

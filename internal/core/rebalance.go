@@ -82,14 +82,22 @@ func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) err
 		if plan.Empty() && !stale {
 			continue
 		}
-		if err := c.executeRebalance(ctx, seg, plan, byName); err != nil {
+		freshSums, err := c.executeRebalance(ctx, seg, plan, byName)
+		if err != nil {
 			return err
 		}
 		updated := seg.Clone()
 		updated.Blocks = nil
 		after := sched.ApplyRebalance(placement, newNames, plan)
 		for blockID, cloudName := range after {
-			updated.AddBlock(blockID, cloudName)
+			// Block content is determined by (segment, blockID), so a
+			// surviving block keeps its recorded checksum; re-encoded
+			// blocks get the sum computed at upload.
+			sum := freshSums[blockID]
+			if sum == 0 {
+				sum = seg.BlockSum(blockID)
+			}
+			updated.AddBlockSum(blockID, cloudName, sum)
 		}
 		relocates = append(relocates, &meta.Change{
 			Type: meta.ChangeRelocate, Path: segID,
@@ -149,18 +157,20 @@ func (c *Client) SetClouds(ctx context.Context, newClouds []cloud.Interface) err
 // executeRebalance moves one segment's blocks: fetches the segment
 // content (from wherever enough blocks remain), re-encodes the block
 // IDs the plan wants uploaded, uploads them to their target clouds,
-// and deletes reclaimed blocks.
+// and deletes reclaimed blocks. It returns the content checksum of
+// every block it encoded, for stamping into the relocated placement.
 func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
-	plan sched.Rebalance, byName map[string]cloud.Interface) error {
+	plan sched.Rebalance, byName map[string]cloud.Interface) (map[int]uint32, error) {
 
+	sums := make(map[int]uint32)
 	if len(plan.Upload) > 0 {
 		data, err := c.fetchSegment(ctx, seg)
 		if err != nil {
-			return fmt.Errorf("core: cannot reconstruct segment %s for rebalance: %w", seg.ID, err)
+			return nil, fmt.Errorf("core: cannot reconstruct segment %s for rebalance: %w", seg.ID, err)
 		}
 		coder, err := c.coder(seg.K, seg.N)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Split once, then encode each wanted block into one reused
 		// pooled buffer; Upload does not retain its data argument, so
@@ -176,6 +186,7 @@ func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
 				}
 				for _, blockID := range blockIDs {
 					coder.EncodeBlocksInto(sh, []int{blockID}, dst)
+					sums[blockID] = meta.BlockSum(payload)
 					path := c.engine.BlockPath(seg.ID, blockID)
 					err := cloud.Retry(ctx, cloud.DefaultRetryPolicy(c.cfg.Clock.Sleep), func() error {
 						return target.Upload(ctx, path, payload)
@@ -191,7 +202,7 @@ func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
 		erasure.PutBuffer(payload)
 		sh.Release()
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for cloudName, blockIDs := range plan.Delete {
@@ -204,7 +215,7 @@ func (c *Client) executeRebalance(ctx context.Context, seg *meta.Segment,
 			_ = target.Delete(ctx, c.engine.BlockPath(seg.ID, blockID))
 		}
 	}
-	return nil
+	return sums, nil
 }
 
 func sortedSegmentIDs(img *meta.Image) []string {

@@ -99,6 +99,11 @@ func (c *Client) Recover(ctx context.Context) (RecoveryReport, error) {
 			if retained {
 				rep.IntentsRetained++
 			}
+		case journal.KindRepair:
+			rep.OrphansReclaimed += c.recoverRepair(ctx, in, img)
+			if err := c.journal.Clear(in.ID); err != nil {
+				return rep, err
+			}
 		default:
 			// Unknown kind (newer format?): drop rather than wedge.
 			if err := c.journal.Clear(in.ID); err != nil {
@@ -148,6 +153,37 @@ func (c *Client) recoverApply(in *journal.Intent, img *meta.Image, known map[str
 		}
 	}
 	return suppressed
+}
+
+// recoverRepair replays a scrub-repair intent that died before its
+// relocate commit. Repair writes are either overwrites of committed
+// block paths (harmless: the content of a block is determined by its
+// name) or fresh copies at locations no committed metadata references
+// — the latter are orphans to reclaim. Survey is trust-but-verify,
+// same as upload recovery: only blocks that actually exist in the
+// clouds are touched, and only when the committed image does not
+// reference them.
+func (c *Client) recoverRepair(ctx context.Context, in *journal.Intent, img *meta.Image) int {
+	surveyed := c.engine.SurveyBlocks(ctx, in.SegmentIDs())
+	reclaimed := 0
+	for segID, locs := range surveyed {
+		pool, _ := img.Segment(segID)
+		intended := in.Placements[segID]
+		for _, loc := range locs {
+			if pool != nil && pool.HasBlock(loc.BlockID, loc.CloudID) {
+				continue // referenced by committed metadata: not ours
+			}
+			// Only locations this repair intended to write are ours to
+			// judge; anything else on the clouds belongs to another pass.
+			if intended[loc.BlockID] != loc.CloudID {
+				continue
+			}
+			n := c.engine.DeleteBlocks(ctx, segID, map[int]string{loc.BlockID: loc.CloudID})
+			reclaimed += n
+			c.cfg.Obs.Counter("journal.orphans_reclaimed").Add(int64(n))
+		}
+	}
+	return reclaimed
 }
 
 // recoverUpload replays one upload intent per the decision table,

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"unidrive/internal/meta"
+	"unidrive/internal/scrub"
+)
+
+// Scrub runs one anti-entropy cycle over the committed metadata:
+// every referenced block copy is checked for existence and content
+// integrity (see internal/scrub). With repair true, damaged copies
+// are re-encoded from the surviving healthy blocks, re-uploaded, and
+// the refreshed placements committed under the quorum lock; legacy
+// pre-checksum locations get their stamps backfilled in the same
+// commit.
+func (c *Client) Scrub(ctx context.Context, repair bool) (*scrub.Report, error) {
+	s, err := scrub.New(scrub.Config{
+		Engine:     c.engine,
+		Image:      func(ctx context.Context) (*meta.Image, error) { return c.store.Fetch(ctx) },
+		Commit:     c.commitRepairs,
+		Journal:    c.journal,
+		Fair:       c.cfg.Fair,
+		Tenant:     c.cfg.TenantID,
+		RatePerSec: c.cfg.ScrubRate,
+		Device:     c.cfg.Device,
+		Clock:      c.cfg.Clock,
+		Obs:        c.cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Cycle(ctx, repair)
+}
+
+// commitRepairs commits scrub relocate changes under the quorum lock,
+// re-validated against the then-current image: a segment dropped
+// since the scrubber read its snapshot is skipped (its repair uploads
+// become orphans the next GC pass reclaims), the current RefCount is
+// preserved, and locations of block IDs the scrubber touched replace
+// the current record per block ID — so a concurrent reliability pass
+// adding copies of OTHER blocks is never clobbered.
+func (c *Client) commitRepairs(ctx context.Context, changes []*meta.Change) (int64, error) {
+	lock, err := c.locks.Acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer c.releaseLock(ctx, lock)
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return 0, err
+	}
+	kept := make([]*meta.Change, 0, len(changes))
+	for _, ch := range changes {
+		if ch.Type != meta.ChangeRelocate || len(ch.Segments) != 1 {
+			return 0, fmt.Errorf("core: scrub commit: malformed change for %q", ch.Path)
+		}
+		cur, ok := img.Segment(ch.Path)
+		if !ok {
+			continue
+		}
+		want := ch.Segments[0]
+		merged := cur.Clone()
+		touched := make(map[int]bool, len(want.Blocks))
+		for _, b := range want.Blocks {
+			touched[b.BlockID] = true
+		}
+		locs := merged.Blocks[:0]
+		for _, b := range merged.Blocks {
+			if !touched[b.BlockID] {
+				locs = append(locs, b)
+			}
+		}
+		merged.Blocks = locs
+		for _, b := range want.Blocks {
+			merged.AddBlockSum(b.BlockID, b.CloudID, b.Checksum)
+		}
+		kept = append(kept, &meta.Change{
+			Type: meta.ChangeRelocate, Path: ch.Path,
+			Segments: []*meta.Segment{merged}, Time: ch.Time,
+		})
+	}
+	if len(kept) == 0 {
+		return c.store.Stamp().Version, nil
+	}
+	if !lock.Valid() {
+		return 0, fmt.Errorf("core: quorum lock lost during scrub commit")
+	}
+	stats, err := c.store.Commit(ctx, kept)
+	if err != nil {
+		return 0, err
+	}
+	c.setLast(c.store.Cached())
+	return stats.Version, nil
+}

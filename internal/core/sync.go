@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"unidrive/internal/cloud"
 	"unidrive/internal/journal"
 	"unidrive/internal/localfs"
 	"unidrive/internal/meta"
@@ -542,13 +543,16 @@ func (c *Client) reuploadMissingSegments(ctx context.Context, changes []*meta.Ch
 				return nil, err
 			}
 			err = c.engine.UploadSegment(ctx, plan, seg.ID, src.blocks, nil)
-			src.release()
 			if err != nil {
+				src.release()
 				return nil, err
 			}
+			// Stamp checksums before releasing the source: sum() reads
+			// the still-pooled encoded buffers.
 			for blockID, cloudName := range plan.Placement() {
-				seg.AddBlock(blockID, cloudName)
+				seg.AddBlockSum(blockID, cloudName, src.sum(blockID))
 			}
+			src.release()
 		}
 	}
 	return changes, nil
@@ -605,11 +609,27 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image, dif
 	}
 	var files []*pendingFile
 	var items []transfer.DownloadItem
+	// itemFiles/itemSegs map each download item back to its file and
+	// segment so plan failures can be classified after the batch.
+	var itemFiles []*pendingFile
+	var itemSegs []*meta.Segment
 	// writeErrs and applied are mutated both inline and from download
 	// Done callbacks; that is race-free because DownloadBatch runs
 	// every Done on this goroutine (the serialization contract on
 	// transfer.DownloadItem.Done).
 	writeErrs := make(map[string]error)
+	// corruptRetries collects segments whose decoded bytes failed the
+	// content SHA-1 inside a Done callback. The replacement fetch runs
+	// AFTER the batch returns: a nested DownloadBatch inside Done
+	// could deadlock on the shared fair scheduler (the outer batch's
+	// slots release on this very goroutine).
+	type corruptRetry struct {
+		f        *pendingFile
+		part     int
+		seg      *meta.Segment
+		excluded map[int]bool
+	}
+	var corruptRetries []corruptRetry
 
 	finish := func(f *pendingFile) {
 		if crashed {
@@ -679,21 +699,25 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image, dif
 				return applied, fmt.Errorf("core: segment %s: %w", id, err)
 			}
 			f.missing++
+			itemFiles = append(itemFiles, f)
+			itemSegs = append(itemSegs, seg)
 			items = append(items, transfer.DownloadItem{
 				Plan:  plan,
 				SegID: id,
+				Sums:  seg.Sums(),
 				Done: func(blocks map[int][]byte) {
-					coder, err := c.coder(seg.K, seg.N)
+					data, excluded, err := c.decodeAndVerify(seg, blocks)
 					if err != nil {
+						if errors.Is(err, errDecodeMismatch) {
+							// Defer the replacement fetch to after the batch.
+							corruptRetries = append(corruptRetries, corruptRetry{
+								f: f, part: i, seg: seg, excluded: excluded,
+							})
+							return
+						}
 						writeErrs[f.snap.Path] = err
 						return
 					}
-					data, err := coder.Decode(blocks, seg.Length)
-					if err != nil {
-						writeErrs[f.snap.Path] = fmt.Errorf("core: segment %s: %w", seg.ID, err)
-						return
-					}
-					recycleBlocks(blocks)
 					f.parts[i] = data
 					f.missing--
 					if f.missing == 0 {
@@ -713,6 +737,51 @@ func (c *Client) applyCloudUpdate(ctx context.Context, from, to *meta.Image, dif
 	if len(items) > 0 {
 		if _, err := c.engine.DownloadBatch(ctx, items); err != nil {
 			return applied, err
+		}
+	}
+	// Classify plans the batch could not complete: when corrupt copies
+	// (detected by their stamped checksums) exhausted a segment's
+	// holders, the file fails loudly as data corruption, not as a
+	// generic availability problem.
+	for i := range items {
+		if items[i].Plan.Done() {
+			continue
+		}
+		f := itemFiles[i]
+		if writeErrs[f.snap.Path] != nil {
+			continue
+		}
+		if n := items[i].Plan.CorruptCount(); n > 0 {
+			writeErrs[f.snap.Path] = fmt.Errorf("core: segment %s: %w after %d corrupt block fetches: %w",
+				itemSegs[i].ID, transfer.ErrSegmentUnrecoverable, n, cloud.ErrCorrupt)
+		}
+	}
+	// Replacement fetches for segments whose first decode failed
+	// content verification, excluding the poisoned copies. A segment
+	// that cannot be reconstructed cleanly fails its file loudly with
+	// cloud.ErrCorrupt (via reconstructVerified's fetch path) — the
+	// half-applied journal intent keeps the pass resumable.
+	for _, cr := range corruptRetries {
+		if writeErrs[cr.f.snap.Path] != nil {
+			continue
+		}
+		blocks, err := c.fetchBlocksExcluding(ctx, cr.seg, cr.excluded)
+		if err != nil {
+			writeErrs[cr.f.snap.Path] = fmt.Errorf("core: segment %s: content verification failed and no clean replacement blocks: %w (%v)",
+				cr.seg.ID, cloud.ErrCorrupt, err)
+			continue
+		}
+		data, _, err := c.decodeAndVerify(cr.seg, blocks)
+		if err != nil {
+			writeErrs[cr.f.snap.Path] = fmt.Errorf("core: segment %s: content verification failed after excluding %d suspect blocks: %w",
+				cr.seg.ID, len(cr.excluded), cloud.ErrCorrupt)
+			continue
+		}
+		c.cfg.Obs.Counter("core.decode.exclusion_retries").Inc()
+		cr.f.parts[cr.part] = data
+		cr.f.missing--
+		if cr.f.missing == 0 {
+			finish(cr.f)
 		}
 	}
 	for _, f := range files {

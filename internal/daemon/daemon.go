@@ -35,12 +35,14 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"unidrive/internal/cloud"
 	"unidrive/internal/core"
 	"unidrive/internal/health"
 	"unidrive/internal/localfs"
 	"unidrive/internal/obs"
+	"unidrive/internal/scrub"
 	"unidrive/internal/transfer"
 	"unidrive/internal/vclock"
 )
@@ -61,6 +63,13 @@ type Config struct {
 	// cooldowns); tenant IDs are folded in so trackers don't share
 	// jitter streams.
 	HealthSeed int64
+	// ScrubInterval, when positive, schedules a per-tenant anti-entropy
+	// scrub cycle (core.Client.Scrub) at this period while the daemon
+	// runs. Zero disables background scrubbing.
+	ScrubInterval time.Duration
+	// ScrubRepair enables the repair pass of scheduled scrub cycles;
+	// false leaves them verify-and-report only.
+	ScrubRepair bool
 }
 
 func (c *Config) fillDefaults() {
@@ -338,6 +347,33 @@ func (d *Daemon) startLoopLocked(t *Tenant) {
 			}
 		})
 	}()
+	if d.cfg.ScrubInterval > 0 {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-d.cfg.Clock.After(d.cfg.ScrubInterval):
+				}
+				if _, err := t.client.Scrub(ctx, d.cfg.ScrubRepair); err != nil && ctx.Err() == nil {
+					if onError != nil {
+						onError(id, err)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// ScrubTenant runs one synchronous scrub cycle for the tenant.
+func (d *Daemon) ScrubTenant(ctx context.Context, id string, repair bool) (*scrub.Report, error) {
+	t, ok := d.Tenant(id)
+	if !ok {
+		return nil, fmt.Errorf("daemon: unknown tenant %q", id)
+	}
+	return t.client.Scrub(ctx, repair)
 }
 
 // FleetSnapshot merges the daemon registry and every tenant registry

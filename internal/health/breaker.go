@@ -138,6 +138,21 @@ func (b *Breaker) Report(err error, latency time.Duration) {
 	b.reportSuccessLocked(latency)
 }
 
+// ReportCorrupt feeds one integrity failure into the breaker:
+// the cloud returned bytes that failed their checksum. Corruption is
+// detected above the Guard (the transfer engine compares content
+// against metadata), so unlike Report it is not paired with an Allow
+// admission and must not touch the half-open probe accounting — the
+// Guard already reported the transport-level success of the same
+// call. It counts as a plain (non-outage) failure: enough corrupt
+// answers trip the breaker exactly like enough request errors.
+func (b *Breaker) ReportCorrupt() {
+	b.t.mu.Lock()
+	defer b.t.mu.Unlock()
+	b.refreshLocked()
+	b.reportFailureLocked(false)
+}
+
 // isFailure reports whether err indicts the cloud's health.
 func isFailure(err error) bool {
 	if err == nil {

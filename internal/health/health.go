@@ -224,6 +224,12 @@ func (t *Tracker) Healthiest(candidates []string) []string {
 	return out
 }
 
+// ReportCorrupt feeds one integrity failure for the named cloud into
+// its breaker (see Breaker.ReportCorrupt).
+func (t *Tracker) ReportCorrupt(cloudName string) {
+	t.Breaker(cloudName).ReportCorrupt()
+}
+
 // Wrap returns inner guarded by this tracker: every call is gated on
 // the breaker's Allow and its outcome fed back via Report.
 func (t *Tracker) Wrap(inner cloud.Interface) *Guard {

@@ -61,7 +61,7 @@ func TestApplyCOWMatchesSlowPath(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		segID := fmt.Sprintf("seg%02d", i)
 		ch := addChange(fmt.Sprintf("f%02d.txt", i), segID)
-		ch.Segments = []*Segment{seg(segID, BlockLocation{0, "c1"}, BlockLocation{1, "c2"})}
+		ch.Segments = []*Segment{seg(segID, BlockLocation{BlockID: 0, CloudID: "c1"}, BlockLocation{BlockID: 1, CloudID: "c2"})}
 		seedChanges = append(seedChanges, ch)
 	}
 	im = applySlow(t, im, seedChanges, "seeder")
@@ -77,7 +77,7 @@ func TestApplyCOWMatchesSlowPath(t *testing.T) {
 				segID := fmt.Sprintf("seg-r%d-%d", round, n)
 				ch := &Change{Type: ChangeEdit, Path: path,
 					Snapshot: snap(path, "dev", segID), Time: time.Unix(int64(round), 0)}
-				ch.Segments = []*Segment{seg(segID, BlockLocation{0, "c3"})}
+				ch.Segments = []*Segment{seg(segID, BlockLocation{BlockID: 0, CloudID: "c3"})}
 				batch = append(batch, ch)
 			case 1: // edit that dedups onto an existing segment
 				shared := fmt.Sprintf("seg%02d", rng.Intn(30))
@@ -90,7 +90,7 @@ func TestApplyCOWMatchesSlowPath(t *testing.T) {
 				shared := fmt.Sprintf("seg%02d", rng.Intn(30))
 				ch := &Change{Type: ChangeAdd, Path: path,
 					Snapshot: snap(path, "dev", segID, shared), Time: time.Unix(int64(round), 0)}
-				ch.Segments = []*Segment{seg(segID, BlockLocation{2, "c1"})}
+				ch.Segments = []*Segment{seg(segID, BlockLocation{BlockID: 2, CloudID: "c1"})}
 				batch = append(batch, ch)
 			}
 		}
@@ -115,7 +115,7 @@ func TestApplyCOWMatchesSlowPath(t *testing.T) {
 func TestApplyCOWRelocatePreservesRefCount(t *testing.T) {
 	im := NewImage()
 	ch := addChange("a.txt", "s1")
-	ch.Segments = []*Segment{seg("s1", BlockLocation{0, "c1"})}
+	ch.Segments = []*Segment{seg("s1", BlockLocation{BlockID: 0, CloudID: "c1"})}
 	base, err := im.ApplyCOW([]*Change{ch}, "dev")
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestApplyCOWRelocatePreservesRefCount(t *testing.T) {
 	if segOf(base, "s1").RefCount != 1 {
 		t.Fatalf("RefCount = %d, want 1", segOf(base, "s1").RefCount)
 	}
-	moved := seg("s1", BlockLocation{0, "c9"})
+	moved := seg("s1", BlockLocation{BlockID: 0, CloudID: "c9"})
 	out, err := base.ApplyCOW([]*Change{{Type: ChangeRelocate, Path: "s1",
 		Segments: []*Segment{moved}, Time: time.Unix(1, 0)}}, "dev")
 	if err != nil {
@@ -145,7 +145,7 @@ func TestApplyCOWSharesUntouchedEntries(t *testing.T) {
 	var chs []*Change
 	for i := 0; i < 4; i++ {
 		ch := addChange(fmt.Sprintf("f%d", i), fmt.Sprintf("s%d", i))
-		ch.Segments = []*Segment{seg(fmt.Sprintf("s%d", i), BlockLocation{0, "c1"})}
+		ch.Segments = []*Segment{seg(fmt.Sprintf("s%d", i), BlockLocation{BlockID: 0, CloudID: "c1"})}
 		chs = append(chs, ch)
 	}
 	base, err := im.ApplyCOW(chs, "dev")

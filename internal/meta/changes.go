@@ -192,7 +192,7 @@ func (im *Image) ApplyCOW(changes []*Change, device string) (*Image, error) {
 			}
 			seg := segFor(cs.ID)
 			for _, b := range cs.Blocks {
-				seg.AddBlock(b.BlockID, b.CloudID)
+				seg.AddBlockSum(b.BlockID, b.CloudID, b.Checksum)
 			}
 			if seg.Length == 0 && cs.Length != 0 {
 				seg.Length, seg.K, seg.N = cs.Length, cs.K, cs.N

@@ -26,6 +26,7 @@ package meta
 import (
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"iter"
 	"sort"
 	"strconv"
@@ -40,6 +41,25 @@ import (
 type BlockLocation struct {
 	BlockID int    `json:"blockId"`
 	CloudID string `json:"cloudId"`
+	// Checksum is the CRC-32C of the block's content (see BlockSum),
+	// stamped at encode time and verified on every download. Zero means
+	// "unknown": the block was recorded before checksums existed and
+	// awaits scrub backfill.
+	Checksum uint32 `json:"crc,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// BlockSum returns the content checksum (CRC-32C) of one coded block.
+// The zero value is reserved to mean "no checksum recorded", so the
+// rare content whose CRC is genuinely 0 maps to 1; both the stamping
+// and the verifying side go through this function, so the mapping is
+// invisible.
+func BlockSum(data []byte) uint32 {
+	if s := crc32.Checksum(data, castagnoli); s != 0 {
+		return s
+	}
+	return 1
 }
 
 // Segment describes one content-addressed segment in the pool.
@@ -109,6 +129,57 @@ func (s *Segment) AddBlock(blockID int, cloudID string) {
 		return
 	}
 	s.Blocks = append(s.Blocks, BlockLocation{BlockID: blockID, CloudID: cloudID})
+}
+
+// AddBlockSum records a block location together with its content
+// checksum. If the location already exists, a nonzero sum backfills a
+// missing (zero) one; an already-recorded sum is never overwritten —
+// block content is immutable, so a disagreement means one side is
+// wrong and the scrubber settles it against the actual bytes.
+func (s *Segment) AddBlockSum(blockID int, cloudID string, sum uint32) {
+	for i := range s.Blocks {
+		if s.Blocks[i].BlockID == blockID && s.Blocks[i].CloudID == cloudID {
+			if s.Blocks[i].Checksum == 0 {
+				s.Blocks[i].Checksum = sum
+			}
+			return
+		}
+	}
+	s.Blocks = append(s.Blocks, BlockLocation{BlockID: blockID, CloudID: cloudID, Checksum: sum})
+}
+
+// BlockSum returns the recorded checksum for blockID, or 0 when no
+// location of that block carries one. Block content is determined by
+// (segment, blockID) alone, so any location's sum speaks for all.
+func (s *Segment) BlockSum(blockID int) uint32 {
+	for _, b := range s.Blocks {
+		if b.BlockID == blockID && b.Checksum != 0 {
+			return b.Checksum
+		}
+	}
+	return 0
+}
+
+// SetBlockSum stamps sum on every recorded location of blockID
+// (checksum backfill after a verified read).
+func (s *Segment) SetBlockSum(blockID int, sum uint32) {
+	for i := range s.Blocks {
+		if s.Blocks[i].BlockID == blockID {
+			s.Blocks[i].Checksum = sum
+		}
+	}
+}
+
+// Sums returns blockID → recorded checksum for every block that has
+// one; blocks from pre-checksum metadata are absent.
+func (s *Segment) Sums() map[int]uint32 {
+	out := make(map[int]uint32, len(s.Blocks))
+	for _, b := range s.Blocks {
+		if b.Checksum != 0 {
+			out[b.BlockID] = b.Checksum
+		}
+	}
+	return out
 }
 
 // RemoveBlocksOn drops all block records for the given cloud and
@@ -322,7 +393,7 @@ func (im *Image) UpsertSegment(seg *Segment) {
 		return
 	}
 	for _, b := range seg.Blocks {
-		existing.AddBlock(b.BlockID, b.CloudID)
+		existing.AddBlockSum(b.BlockID, b.CloudID, b.Checksum)
 	}
 	if existing.Length == 0 && seg.Length != 0 {
 		existing.Length, existing.K, existing.N = seg.Length, seg.K, seg.N

@@ -83,7 +83,7 @@ func TestSnapshotContentEquals(t *testing.T) {
 func TestImageCloneIndependence(t *testing.T) {
 	im := NewImage()
 	im.SetSnapshot(snap("a.txt", "d1", "s1"))
-	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}))
+	im.UpsertSegment(seg("s1", BlockLocation{BlockID: 0, CloudID: "c1"}))
 	cl := im.Clone()
 	cl.SetSnapshot(snap("a.txt", "d2", "s9"))
 	segOf(cl, "s1").AddBlock(5, "c5")
@@ -108,8 +108,8 @@ func TestPathsExcludesTombstones(t *testing.T) {
 
 func TestUpsertSegmentMergesBlocks(t *testing.T) {
 	im := NewImage()
-	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}))
-	im.UpsertSegment(seg("s1", BlockLocation{1, "c2"}))
+	im.UpsertSegment(seg("s1", BlockLocation{BlockID: 0, CloudID: "c1"}))
+	im.UpsertSegment(seg("s1", BlockLocation{BlockID: 1, CloudID: "c2"}))
 	s := segOf(im, "s1")
 	if len(s.Blocks) != 2 {
 		t.Fatalf("blocks = %v", s.Blocks)
@@ -176,7 +176,7 @@ func TestImageEncodeDecodeRoundTrip(t *testing.T) {
 	im.Version = 42
 	im.Device = "laptop"
 	im.SetSnapshot(snap("dir/a.txt", "laptop", "s1"))
-	im.UpsertSegment(seg("s1", BlockLocation{0, "c1"}, BlockLocation{1, "c2"}))
+	im.UpsertSegment(seg("s1", BlockLocation{BlockID: 0, CloudID: "c1"}, BlockLocation{BlockID: 1, CloudID: "c2"}))
 	im.RecountRefs()
 	data, err := im.Encode()
 	if err != nil {

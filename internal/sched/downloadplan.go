@@ -30,6 +30,10 @@ type DownloadPlan struct {
 	done     map[int]bool
 	inflight map[int]map[string]bool
 	dead     map[string]bool
+	// corrupt counts downloads whose content failed its checksum; the
+	// engine notes them so callers can tell "unrecoverable because
+	// clouds were down" from "unrecoverable because copies were bad".
+	corrupt int
 }
 
 // NewDownloadPlan creates a plan to fetch any k of the blocks whose
@@ -207,6 +211,24 @@ func (p *DownloadPlan) Fail(cloudName string, blockID int) {
 		}
 	}
 	p.sources[blockID] = srcKept
+}
+
+// NoteCorrupt records that one download attempt returned bytes
+// failing their integrity check. Call it alongside Fail — Fail does
+// the scheduling bookkeeping (the cloud proved unable to supply the
+// block), NoteCorrupt keeps the cause observable.
+func (p *DownloadPlan) NoteCorrupt() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.corrupt++
+}
+
+// CorruptCount returns how many downloads failed their integrity
+// check during this plan.
+func (p *DownloadPlan) CorruptCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.corrupt
 }
 
 // MarkDead excludes a cloud from the plan.

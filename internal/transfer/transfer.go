@@ -613,6 +613,15 @@ type DownloadItem struct {
 	// (accumulators, error maps) from Done without locking — the core
 	// apply path depends on this.
 	Done func(blocks map[int][]byte)
+	// Sums carries the expected content checksum (meta.BlockSum) per
+	// block ID. A fetched block whose content does not match is
+	// treated as a failed transfer — counted under
+	// transfer.down.corrupt_blocks, reported to the health tracker,
+	// and re-planned onto another holder — instead of being handed to
+	// the caller. Blocks absent from the map (or mapped to 0) are
+	// pre-checksum metadata and pass unverified; the decode-time
+	// segment SHA check is their safety net.
+	Sums map[int]uint32
 }
 
 // DownloadSegment runs a single download plan to completion and
@@ -935,6 +944,26 @@ func (e *Engine) DownloadBatch(ctx context.Context, items []DownloadItem) ([]map
 		}
 		reg.Counter("transfer.down.retries").Add(int64(r.attempts - 1))
 		plan := items[r.item].Plan
+		if r.err == nil {
+			if want := items[r.item].Sums[r.blockID]; want != 0 && meta.BlockSum(r.data) != want {
+				// The transport succeeded but the content is wrong: the
+				// cloud's copy rotted (or was replaced). Convert it into a
+				// block failure so the plan re-fetches from another holder
+				// — corrupt bytes must never reach the caller — and feed
+				// the breaker: a cloud serving garbage is evidence of
+				// unhealth just like a cloud refusing requests. The flight
+				// stays open (f.done unset): a hedged twin may still
+				// deliver a good copy.
+				reg.Counter("transfer.down.corrupt_blocks").Inc()
+				if e.cfg.Health != nil {
+					e.cfg.Health.ReportCorrupt(r.cloudName)
+				}
+				plan.NoteCorrupt()
+				r.err = fmt.Errorf("transfer: block %s from %s: %w",
+					meta.BlockName(items[r.item].SegID, r.blockID), r.cloudName, cloud.ErrCorrupt)
+				r.data = nil
+			}
+		}
 		if r.err != nil {
 			reg.Counter("transfer.down.blocks_failed").Inc()
 			if d.markOutcome(r.cloudName, r.err) {
@@ -1055,6 +1084,67 @@ func (e *Engine) SurveyBlocks(ctx context.Context, segIDs []string) map[string][
 		}
 	}
 	return out
+}
+
+// CloudNames returns the engine's cloud names, sorted.
+func (e *Engine) CloudNames() []string {
+	return append([]string(nil), e.names...)
+}
+
+// ListBlockNames lists the block directory of one cloud and returns
+// the raw block file names. A missing directory is an empty cloud,
+// not an error; any other List failure is returned so callers (the
+// scrubber, Fsck) can treat the cloud's contents as unknown instead
+// of empty.
+func (e *Engine) ListBlockNames(ctx context.Context, cloudName string) ([]string, error) {
+	c, ok := e.clouds[cloudName]
+	if !ok {
+		return nil, fmt.Errorf("transfer: unknown cloud %q", cloudName)
+	}
+	entries, err := c.List(ctx, e.cfg.BlockDir)
+	if errors.Is(err, cloud.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, en := range entries {
+		if !en.IsDir {
+			names = append(names, en.Name)
+		}
+	}
+	return names, nil
+}
+
+// FetchBlock downloads one coded block from one specific cloud, with
+// the engine's transient-retry policy. Unlike the plan-driven batch
+// paths it does no verification and no failover — the scrubber uses
+// it to examine exactly the copy a cloud holds.
+func (e *Engine) FetchBlock(ctx context.Context, cloudName, segID string, blockID int) ([]byte, error) {
+	c, ok := e.clouds[cloudName]
+	if !ok {
+		return nil, fmt.Errorf("transfer: unknown cloud %q", cloudName)
+	}
+	var data []byte
+	err := cloud.Retry(ctx, e.retryPolicy(), func() error {
+		var derr error
+		data, derr = c.Download(ctx, e.BlockPath(segID, blockID))
+		return derr
+	})
+	return data, err
+}
+
+// PutBlock uploads one coded block to one specific cloud, with the
+// engine's transient-retry policy — the scrubber's repair write path.
+func (e *Engine) PutBlock(ctx context.Context, cloudName, segID string, blockID int, data []byte) error {
+	c, ok := e.clouds[cloudName]
+	if !ok {
+		return fmt.Errorf("transfer: unknown cloud %q", cloudName)
+	}
+	return cloud.Retry(ctx, e.retryPolicy(), func() error {
+		return c.Upload(ctx, e.BlockPath(segID, blockID), data)
+	})
 }
 
 // DeleteBlocks removes the given blocks (block ID -> cloud) of a

@@ -13,10 +13,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (data plane, obs, qlock, core, health, journal, localfs, deltasync, daemon, trial, netsim)"
+echo "== go test -race (data plane, obs, qlock, core, health, journal, localfs, deltasync, daemon, trial, netsim, scrub)"
 go test -race ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
 	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
 	./internal/journal/... ./internal/localfs/... ./internal/deltasync/... \
-	./internal/daemon/... ./internal/trial/... ./internal/netsim/...
+	./internal/daemon/... ./internal/trial/... ./internal/netsim/... ./internal/scrub/...
 
 echo "OK"

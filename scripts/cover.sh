@@ -7,6 +7,7 @@
 #   journal >= COVER_JOURNAL_MIN (and the crash-consistency journal)
 #   localfs >= COVER_LOCALFS_MIN (and the scanner/watcher layer)
 #   daemon  >= COVER_DAEMON_MIN (and the multi-tenant host)
+#   scrub   >= COVER_SCRUB_MIN (and the anti-entropy scrubber)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,6 +17,7 @@ HEALTH_MIN="${COVER_HEALTH_MIN:-85.0}"
 JOURNAL_MIN="${COVER_JOURNAL_MIN:-85.0}"
 LOCALFS_MIN="${COVER_LOCALFS_MIN:-85.0}"
 DAEMON_MIN="${COVER_DAEMON_MIN:-85.0}"
+SCRUB_MIN="${COVER_SCRUB_MIN:-85.0}"
 PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
 
 echo "== go test -coverprofile (all packages)"
@@ -59,12 +61,17 @@ daemon_profile="${PROFILE}.daemon"
 { head -n 1 "$PROFILE"; grep '^unidrive/internal/daemon/' "$PROFILE" || true; } > "$daemon_profile"
 daemon=$(go tool cover -func="$daemon_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 
+scrub_profile="${PROFILE}.scrub"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/scrub/' "$PROFILE" || true; } > "$scrub_profile"
+scrub=$(go tool cover -func="$scrub_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
 echo "total coverage: ${total}% (baseline ${BASELINE}%)"
 echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
 echo "internal/health coverage: ${health}% (minimum ${HEALTH_MIN}%)"
 echo "internal/journal coverage: ${journal}% (minimum ${JOURNAL_MIN}%)"
 echo "internal/localfs coverage: ${localfs}% (minimum ${LOCALFS_MIN}%)"
 echo "internal/daemon coverage: ${daemon}% (minimum ${DAEMON_MIN}%)"
+echo "internal/scrub coverage: ${scrub}% (minimum ${SCRUB_MIN}%)"
 
 fail=0
 if awk "BEGIN { exit !($total < $BASELINE) }"; then
@@ -89,6 +96,10 @@ if awk "BEGIN { exit !($localfs < $LOCALFS_MIN) }"; then
 fi
 if awk "BEGIN { exit !($daemon < $DAEMON_MIN) }"; then
 	echo "FAIL: internal/daemon coverage ${daemon}% is below the ${DAEMON_MIN}% bar" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($scrub < $SCRUB_MIN) }"; then
+	echo "FAIL: internal/scrub coverage ${scrub}% is below the ${SCRUB_MIN}% bar" >&2
 	fail=1
 fi
 exit $fail
