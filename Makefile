@@ -6,7 +6,8 @@ GO ?= go
 RACE_PKGS = ./internal/erasure/... ./internal/gf256/... ./internal/transfer/... \
 	./internal/obs/... ./internal/qlock/... ./internal/core/... ./internal/health/... \
 	./internal/journal/... ./internal/localfs/... ./internal/deltasync/... \
-	./internal/daemon/... ./internal/trial/... ./internal/netsim/... ./internal/scrub/...
+	./internal/daemon/... ./internal/trial/... ./internal/netsim/... ./internal/scrub/... \
+	./internal/capacity/...
 
 # Coverage gate: the repo total must not drop below the recorded
 # baseline, and the observability layer is held to a higher bar.
@@ -17,6 +18,7 @@ COVER_JOURNAL_MIN = 85.0
 COVER_LOCALFS_MIN = 85.0
 COVER_DAEMON_MIN = 85.0
 COVER_SCRUB_MIN = 85.0
+COVER_CAPACITY_MIN = 85.0
 
 .PHONY: build vet test test-race bench-erasure bench-sync bench-trial bench chaos scrub check cover
 
@@ -53,12 +55,13 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # Fault-injection soak: the chaos, outage, failover, hedging,
-# crash-recovery, and data-corruption tests under the race detector
-# with a generous timeout.
+# crash-recovery, quota-exhaustion, and data-corruption tests under
+# the race detector with a generous timeout.
 chaos:
-	$(GO) test -race -timeout 15m -run 'Chaos|Outage|Failover|Hedge|Flaky|Breaker|Guard|Degraded|Crash|Recover|Corrupt|Scrub' \
+	$(GO) test -race -timeout 15m -run 'Chaos|Outage|Failover|Hedge|Flaky|Breaker|Guard|Degraded|Crash|Recover|Corrupt|Scrub|Quota' \
 		./internal/core/... ./internal/transfer/... ./internal/health/... \
-		./internal/qlock/... ./internal/cloudsim/... ./internal/scrub/...
+		./internal/qlock/... ./internal/cloudsim/... ./internal/scrub/... \
+		./internal/capacity/...
 
 # Integrity smoke: the anti-entropy scrubber's own suite plus the
 # end-to-end corruption/repair paths in core, race-checked.
@@ -69,7 +72,8 @@ scrub:
 cover:
 	COVER_BASELINE=$(COVER_BASELINE) COVER_OBS_MIN=$(COVER_OBS_MIN) COVER_HEALTH_MIN=$(COVER_HEALTH_MIN) \
 		COVER_JOURNAL_MIN=$(COVER_JOURNAL_MIN) COVER_LOCALFS_MIN=$(COVER_LOCALFS_MIN) \
-		COVER_DAEMON_MIN=$(COVER_DAEMON_MIN) COVER_SCRUB_MIN=$(COVER_SCRUB_MIN) ./scripts/cover.sh
+		COVER_DAEMON_MIN=$(COVER_DAEMON_MIN) COVER_SCRUB_MIN=$(COVER_SCRUB_MIN) \
+		COVER_CAPACITY_MIN=$(COVER_CAPACITY_MIN) ./scripts/cover.sh
 
 # Tier-1 gate: everything a change must pass before merging.
 check: vet build test test-race

@@ -32,6 +32,14 @@
 //	unidrive scrub -folder ./sync -passphrase secret \
 //	         -clouds http://localhost:8081,... [-repair] [-rate 50]
 //
+// The `status` subcommand prints a read-only capacity and placement
+// view: per-cloud block counts and quota state, plus any segments
+// committed THIN (under-replicated because clouds were out of quota
+// when they were written):
+//
+//	unidrive status -folder ./sync -passphrase secret \
+//	         -clouds http://localhost:8081,... [-v]
+//
 // See cmd/unidrive/serve.go for the config format and README.md for a
 // quick start.
 package main
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudhttp"
 	"unidrive/internal/core"
@@ -66,6 +75,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "scrub" {
 		if err := runScrub(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "unidrive:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "status" {
+		if err := runStatus(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "unidrive:", err)
 			os.Exit(1)
 		}
@@ -119,6 +135,7 @@ func run() error {
 	}
 	reg := obs.NewRegistry()
 	tracker := health.NewDefaultTracker(vclock.Real{}, time.Now().UnixNano(), reg)
+	capTracker := capacity.NewDefaultTracker(vclock.Real{}, reg)
 	printReport := func(rep core.SyncReport) {
 		fmt.Printf("sync v%d: %d local changes committed, %d cloud changes applied",
 			rep.Version, rep.LocalChanges, rep.CloudChanges)
@@ -144,6 +161,7 @@ func run() error {
 		OnPass:             printReport,
 		Obs:                reg,
 		Health:             tracker,
+		Capacity:           capTracker,
 	})
 	if err != nil {
 		return err
@@ -186,6 +204,10 @@ func run() error {
 		for _, c := range clouds {
 			if b := tracker.Breaker(c.Name()); b.State() != health.Closed {
 				fmt.Fprintf(os.Stderr, "unidrive: cloud %s breaker %v\n", c.Name(), b.State())
+			}
+			if st := capTracker.State(c.Name()); st != capacity.OK {
+				fmt.Fprintf(os.Stderr, "unidrive: cloud %s capacity %v (%d quota rejections)\n",
+					c.Name(), st, capTracker.Rejections(c.Name()))
 			}
 		}
 	})

@@ -10,11 +10,13 @@ import (
 	"strings"
 	"syscall"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudhttp"
 	"unidrive/internal/core"
 	"unidrive/internal/localfs"
 	"unidrive/internal/obs"
+	"unidrive/internal/vclock"
 )
 
 // runScrub implements `unidrive scrub`: one anti-entropy cycle over
@@ -54,11 +56,13 @@ func runScrub(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
 	client, err := core.New(clouds, folder, core.Config{
 		Device:     *device,
 		Passphrase: *passphrase,
 		ScrubRate:  *rate,
-		Obs:        obs.NewRegistry(),
+		Capacity:   capacity.NewDefaultTracker(vclock.Real{}, reg),
+		Obs:        reg,
 	})
 	if err != nil {
 		return err
@@ -74,11 +78,18 @@ func runScrub(args []string) error {
 		fmt.Printf("scrub: %d blocks repaired, %d checksums backfilled (committed: %v)\n",
 			rep.RepairedBlocks, rep.Backfilled, rep.Committed)
 	}
+	if rep.ThinSegments > 0 || rep.ReexpandedBlocks > 0 {
+		fmt.Printf("scrub: %d thin segments walked, %d blocks re-expanded, %d thin marks cleared\n",
+			rep.ThinSegments, rep.ReexpandedBlocks, rep.ThinCleared)
+	}
 	for _, c := range rep.UnknownClouds {
 		fmt.Printf("scrub: cloud %s unreachable: its copies were not checked\n", c)
 	}
 	for _, id := range rep.Unrepairable {
 		fmt.Printf("scrub: segment %s UNREPAIRABLE: fewer than K verified blocks reachable\n", id)
+	}
+	for _, id := range rep.UnrepairableCapacity {
+		fmt.Printf("scrub: segment %s deferred: intact, but every eligible cloud is out of quota\n", id)
 	}
 	damaged := rep.BlocksMissing + rep.BlocksCorrupt
 	if damaged > 0 && !*repair {

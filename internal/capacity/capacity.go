@@ -1,0 +1,371 @@
+// Package capacity is UniDrive's per-cloud quota-exhaustion tracker.
+//
+// The paper aggregates small consumer free tiers (§6), so running a
+// provider out of space is an expected steady state, not an outage.
+// Quota rejections are deliberately NOT circuit-breaker evidence (a
+// full cloud still serves downloads, lists, and lock traffic
+// perfectly well); this package tracks the one axis the health layer
+// ignores: whether a cloud can accept MORE BYTES.
+//
+// Every observed cloud.ErrQuotaExceeded moves that cloud to Full, and
+// the transfer engine stops planning new uploads onto it (placement
+// re-plans within MaxPerCloud, exactly like dead-cloud failover — but
+// download, list and lock traffic keeps flowing). Two signals re-open
+// a Full cloud for a probe:
+//
+//	Full ──(bytes freed ≥ ProbeFreeBytes)──▶ Probing ──(upload ok)──▶ OK
+//	  ▲  ──(ProbeInterval elapsed)────────▶    │
+//	  └──────────(quota error again)───────────┘
+//
+// Probing (the "Tight" state) admits upload traffic again; the first
+// successful upload re-admits the cloud fully, the first quota
+// rejection slams it back to Full and restarts the cooldown. The
+// interval path matters because quota can return without this client
+// observing a delete — the user empties trash in the provider's web
+// UI, another device garbage-collects, or an operator raises the
+// plan.
+//
+// Byte accounting is session-relative: UsedDelta is the net bytes
+// this tracker has watched flow to the cloud (uploads minus deletes),
+// not the provider-absolute usage, which consumer APIs rarely report
+// honestly. It exists to size the pressure valve and the status view,
+// not to predict rejections — the provider's own ErrQuotaExceeded is
+// always the ground truth.
+//
+// Everything is deterministic under test: time comes from the
+// injected vclock.Clock, and Rejections() exposes the exact count of
+// observed quota errors per cloud so chaos soaks can reconcile
+// simulator-injected rejections one-for-one against tracker
+// observations.
+package capacity
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"unidrive/internal/obs"
+	"unidrive/internal/vclock"
+)
+
+// State classifies a cloud's capacity. The zero value is OK.
+type State int
+
+const (
+	// OK: no quota pressure observed; uploads flow normally.
+	OK State = iota
+	// Probing: the cloud was Full but space may have returned (bytes
+	// freed, or the re-probe cooldown elapsed); upload traffic is
+	// admitted again and the next outcome decides OK vs Full.
+	Probing
+	// Full: the cloud rejected an upload with ErrQuotaExceeded and no
+	// recovery signal has been seen since. No new uploads are planned
+	// onto it; downloads, lists and locks are unaffected.
+	Full
+)
+
+// String returns the lowercase state name used in status views.
+func (s State) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Probing:
+		return "probing"
+	case Full:
+		return "full"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Tracker. The zero value is usable: every
+// field has a production default filled in by NewTracker.
+type Config struct {
+	// ProbeFreeBytes is how many bytes must be observed freed (via
+	// ObserveDelete) before a Full cloud becomes Probing without
+	// waiting out the cooldown. Default 1 — any reclaimed space is
+	// worth a probe.
+	ProbeFreeBytes int64
+
+	// ProbeInterval is the cooldown after which a Full cloud becomes
+	// Probing even with no observed frees, so externally-reclaimed
+	// quota (web-UI trash emptying, plan upgrades) is eventually
+	// rediscovered. Default 60s.
+	ProbeInterval time.Duration
+
+	// Clock supplies time for the re-probe cooldown. Default the real
+	// wall clock.
+	Clock vclock.Clock
+
+	// Obs receives capacity state gauges and rejection counters. Nil
+	// discards them.
+	Obs *obs.Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.ProbeFreeBytes <= 0 {
+		c.ProbeFreeBytes = 1
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 60 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real{}
+	}
+}
+
+// record is one cloud's capacity bookkeeping.
+type record struct {
+	state      State
+	usedDelta  int64     // net observed bytes: uploads − deletes
+	freedSince int64     // bytes freed since the cloud went Full
+	fullAt     time.Time // when the cloud last went Full
+	rejections int64     // total observed quota errors
+}
+
+// Tracker holds one capacity record per cloud, created lazily on
+// first use. A single Tracker is shared by the whole client stack so
+// the transfer engine, scrubber and maintenance passes all see the
+// same picture of each cloud's remaining space. A nil *Tracker is
+// valid and tracks nothing: every cloud admits, every observation is
+// discarded — the capacity layer off.
+type Tracker struct {
+	cfg Config
+
+	mu      sync.Mutex
+	records map[string]*record
+}
+
+// NewTracker returns a Tracker with cfg's zero fields defaulted.
+func NewTracker(cfg Config) *Tracker {
+	cfg.fillDefaults()
+	return &Tracker{cfg: cfg, records: make(map[string]*record)}
+}
+
+// NewDefaultTracker returns a production-configured Tracker.
+func NewDefaultTracker(clk vclock.Clock, reg *obs.Registry) *Tracker {
+	return NewTracker(Config{Clock: clk, Obs: reg})
+}
+
+func (t *Tracker) recordLocked(cloudName string) *record {
+	r, ok := t.records[cloudName]
+	if !ok {
+		r = &record{}
+		t.records[cloudName] = r
+		t.cfg.Obs.Gauge("capacity." + cloudName + ".state").Set(float64(OK))
+	}
+	return r
+}
+
+func (t *Tracker) setStateLocked(cloudName string, r *record, s State) {
+	if r.state == s {
+		return
+	}
+	r.state = s
+	t.cfg.Obs.Gauge("capacity." + cloudName + ".state").Set(float64(s))
+}
+
+// refreshLocked applies the time-based re-probe transition.
+func (t *Tracker) refreshLocked(cloudName string, r *record) {
+	if r.state != Full {
+		return
+	}
+	if t.cfg.Clock.Now().Sub(r.fullAt) >= t.cfg.ProbeInterval {
+		t.setStateLocked(cloudName, r, Probing)
+		t.cfg.Obs.Counter("capacity.probe_opened").Inc()
+	}
+}
+
+// ObserveQuotaExceeded records one quota rejection for the named
+// cloud: the cloud goes Full (Probing → Full restarts the cooldown)
+// and the rejection is counted for chaos reconciliation. Callers must
+// report each rejected request exactly once.
+func (t *Tracker) ObserveQuotaExceeded(cloudName string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.recordLocked(cloudName)
+	r.rejections++
+	t.cfg.Obs.Counter("capacity.quota_rejections").Inc()
+	t.cfg.Obs.Counter("capacity." + cloudName + ".quota_rejections").Inc()
+	if r.state != Full {
+		t.cfg.Obs.Counter("capacity.full_marks").Inc()
+	}
+	r.fullAt = t.cfg.Clock.Now()
+	r.freedSince = 0
+	t.setStateLocked(cloudName, r, Full)
+}
+
+// ObserveUpload records bytes successfully stored on the named cloud.
+// A successful upload is proof of space: a Probing (or even Full —
+// e.g. a racing in-flight upload that landed) cloud re-admits to OK.
+func (t *Tracker) ObserveUpload(cloudName string, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.recordLocked(cloudName)
+	r.usedDelta += bytes
+	if r.state != OK {
+		t.cfg.Obs.Counter("capacity.readmitted").Inc()
+		t.setStateLocked(cloudName, r, OK)
+		r.freedSince = 0
+	}
+}
+
+// ObserveDelete records bytes reclaimed from the named cloud. Once a
+// Full cloud's freed bytes reach ProbeFreeBytes it becomes Probing —
+// the probe-after-free recovery path. A non-positive size (the
+// cloud.Interface does not expose object sizes on delete) still
+// credits one byte toward the probe threshold: a successful delete
+// freed SOMETHING, and a spurious probe costs one failed upload.
+func (t *Tracker) ObserveDelete(cloudName string, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.recordLocked(cloudName)
+	if bytes > 0 {
+		r.usedDelta -= bytes
+	}
+	if r.state == Full {
+		credit := bytes
+		if credit <= 0 {
+			credit = 1
+		}
+		r.freedSince += credit
+		if r.freedSince >= t.cfg.ProbeFreeBytes {
+			t.setStateLocked(cloudName, r, Probing)
+			t.cfg.Obs.Counter("capacity.probe_opened").Inc()
+		}
+	}
+}
+
+// Admits reports whether the named cloud is currently worth planning
+// NEW UPLOAD work on: its state is OK or Probing. It never gates
+// downloads, lists or lock traffic — a full cloud serves all of
+// those. The time-based re-probe transition is applied on the way.
+func (t *Tracker) Admits(cloudName string) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.recordLocked(cloudName)
+	t.refreshLocked(cloudName, r)
+	return r.state != Full
+}
+
+// State returns the named cloud's current capacity state (after
+// applying the time-based re-probe transition).
+func (t *Tracker) State(cloudName string) State {
+	if t == nil {
+		return OK
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.recordLocked(cloudName)
+	t.refreshLocked(cloudName, r)
+	return r.state
+}
+
+// WithSpace filters candidates down to clouds that currently admit
+// uploads, preserving order but moving Probing clouds after OK ones —
+// a probe should be the last resort, not the first target.
+func (t *Tracker) WithSpace(candidates []string) []string {
+	if t == nil {
+		return append([]string(nil), candidates...)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ok := make([]string, 0, len(candidates))
+	probing := make([]string, 0)
+	for _, name := range candidates {
+		r := t.recordLocked(name)
+		t.refreshLocked(name, r)
+		switch r.state {
+		case OK:
+			ok = append(ok, name)
+		case Probing:
+			probing = append(probing, name)
+		}
+	}
+	return append(ok, probing...)
+}
+
+// Rejections returns the total observed quota rejections for the
+// named cloud — the reconciliation hook for chaos soaks.
+func (t *Tracker) Rejections(cloudName string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recordLocked(cloudName).rejections
+}
+
+// UsedDelta returns the net bytes this tracker has observed flowing
+// to the named cloud (uploads minus deletes) — session-relative, for
+// the status and debug views.
+func (t *Tracker) UsedDelta(cloudName string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recordLocked(cloudName).usedDelta
+}
+
+// CloudState is one row of a capacity snapshot.
+type CloudState struct {
+	Cloud      string `json:"cloud"`
+	State      string `json:"state"`
+	UsedDelta  int64  `json:"used_delta_bytes"`
+	Rejections int64  `json:"quota_rejections"`
+}
+
+// Snapshot returns every tracked cloud's capacity row, sorted by
+// cloud name, with the time-based re-probe transition applied. Only
+// clouds the tracker has observed (or been asked about) appear.
+func (t *Tracker) Snapshot() []CloudState {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]CloudState, 0, len(t.records))
+	for name, r := range t.records {
+		t.refreshLocked(name, r)
+		out = append(out, CloudState{
+			Cloud:      name,
+			State:      r.state.String(),
+			UsedDelta:  r.usedDelta,
+			Rejections: r.rejections,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cloud < out[j].Cloud })
+	return out
+}
+
+// AnyFull reports whether any tracked cloud is currently Full —
+// the cheap "is there capacity pressure at all" predicate the
+// maintenance passes use to decide whether the pressure valve and
+// re-expansion are worth running.
+func (t *Tracker) AnyFull() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name, r := range t.records {
+		t.refreshLocked(name, r)
+		if r.state == Full {
+			return true
+		}
+	}
+	return false
+}

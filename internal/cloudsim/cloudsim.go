@@ -32,12 +32,16 @@ import (
 // Store is the provider-side state of one simulated cloud. It is safe
 // for concurrent use by any number of clients.
 type Store struct {
-	name  string
-	quota int64
+	name string
 
 	mu    sync.RWMutex
-	files map[string]storedFile
-	dirs  map[string]bool
+	quota int64
+	// quotaRejections counts every upload the quota check refused, so
+	// chaos tests can reconcile provider-side rejections one-for-one
+	// against client-side capacity-tracker observations.
+	quotaRejections int64
+	files           map[string]storedFile
+	dirs            map[string]bool
 	// children indexes the direct child names of every directory (""
 	// is the root), so list and subtree remove touch only the entries
 	// under the requested path instead of scanning the whole store —
@@ -76,6 +80,34 @@ func (s *Store) Used() int64 {
 	return s.used
 }
 
+// Quota returns the current storage quota in bytes (non-positive
+// means unlimited).
+func (s *Store) Quota() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.quota
+}
+
+// SetQuota changes the storage quota at runtime — chaos tests shrink
+// it mid-workload to exhaust a cloud and grow it back to model the
+// user reclaiming space. Shrinking below the current usage does not
+// delete anything: existing bytes stay, but every further upload that
+// would grow usage is rejected, exactly like a real provider whose
+// plan lapsed.
+func (s *Store) SetQuota(quota int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.quota = quota
+}
+
+// QuotaRejections reports how many uploads the quota check has
+// refused since the store was created.
+func (s *Store) QuotaRejections() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.quotaRejections
+}
+
 // FileCount reports the number of stored files.
 func (s *Store) FileCount() int {
 	s.mu.RLock()
@@ -110,6 +142,7 @@ func (s *Store) put(path string, data []byte) error {
 		delta -= int64(len(old.data))
 	}
 	if s.quota > 0 && s.used+delta > s.quota {
+		s.quotaRejections++
 		return fmt.Errorf("cloudsim: %s uploading %d bytes to %q: %w",
 			s.name, len(data), path, cloud.ErrQuotaExceeded)
 	}

@@ -16,11 +16,13 @@ import (
 
 // Flaky wraps a cloud.Interface and injects faults: transient
 // failures with a fixed probability, full outages (switched or
-// scripted per op-index window), per-op latency (fixed plus
-// seeded-random jitter), and a stall mode in which calls hang until
-// their context is cancelled. Tests use it to exercise retry paths,
-// circuit breakers, hedged requests, and the lock protocol's failure
-// handling without the full netsim model.
+// scripted per op-index window), quota exhaustion (switched or
+// scripted; uploads rejected, everything else served), per-op latency
+// (fixed plus seeded-random jitter), and a stall mode in which calls
+// hang until their context is cancelled. Tests use it to exercise
+// retry paths, circuit breakers, hedged requests, capacity
+// degradation, and the lock protocol's failure handling without the
+// full netsim model.
 type Flaky struct {
 	inner cloud.Interface
 	prob  float64
@@ -49,6 +51,17 @@ type Flaky struct {
 	corrupted map[string]CorruptMode
 	// corruptServes counts downloads that returned damaged bytes.
 	corruptServes int
+	// quotaFull simulates an exhausted quota when set: every Upload is
+	// rejected with cloud.ErrQuotaExceeded while all other operations
+	// keep working — the capacity-pressure fault shape.
+	quotaFull bool
+	// quotaWindows holds scripted [from, to) windows of op indexes
+	// during which uploads are quota-rejected, composing with
+	// quotaFull the way outages compose with down.
+	quotaWindows [][2]int
+	// injQuota counts the quota rejections actually injected (uploads
+	// only — quota never fails reads).
+	injQuota int
 	// injTransient / injOutage count the faults actually injected,
 	// per operation, so chaos tests can reconcile observed failures
 	// against them exactly.
@@ -191,6 +204,37 @@ func (f *Flaky) AddOutageWindow(from, to int) {
 	f.outages = append(f.outages, [2]int{from, to})
 }
 
+// SetQuotaFull switches the wrapped cloud into (or out of) quota
+// exhaustion: while set, every Upload is rejected with
+// cloud.ErrQuotaExceeded and counted, while downloads, lists,
+// createdirs and deletes keep working — a full cloud is not a dead
+// cloud.
+func (f *Flaky) SetQuotaFull(full bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.quotaFull = full
+}
+
+// AddQuotaWindow scripts quota exhaustion between the from-th call
+// (inclusive) and the to-th call (exclusive), counted across all
+// operations on this wrapper (only uploads landing inside the window
+// are rejected). Windows compose with SetQuotaFull; outside every
+// window uploads flow normally.
+func (f *Flaky) AddQuotaWindow(from, to int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.quotaWindows = append(f.quotaWindows, [2]int{from, to})
+}
+
+// InjectedQuota reports how many quota rejections this wrapper has
+// injected — the exact count chaos soaks reconcile against the
+// capacity tracker's observations.
+func (f *Flaky) InjectedQuota() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injQuota
+}
+
 // Ops reports how many calls this wrapper has seen, i.e. the op index
 // the next call will get — tests use it to position outage windows.
 func (f *Flaky) Ops() int {
@@ -210,10 +254,25 @@ func (f *Flaky) fail(ctx context.Context, op string, bump func(*CallCounts)) err
 			break
 		}
 	}
+	quota := false
+	if op == "upload" && !down {
+		quota = f.quotaFull
+		for _, w := range f.quotaWindows {
+			if idx >= w[0] && idx < w[1] {
+				quota = true
+				break
+			}
+		}
+	}
 	var err error
 	if down {
 		bump(&f.injOutage)
 		err = fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrUnavailable)
+	} else if quota {
+		// Quota beats the transient dice: a full provider answers
+		// deterministically, so injected rejections reconcile exactly.
+		f.injQuota++
+		err = fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrQuotaExceeded)
 	} else if f.rng.Float64() < f.prob {
 		bump(&f.injTransient)
 		err = fmt.Errorf("flaky %s %s: %w", f.inner.Name(), op, cloud.ErrTransient)

@@ -1,0 +1,135 @@
+package cloudsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"unidrive/internal/cloud"
+)
+
+func TestSetQuotaShrinkRejectsGrowKeepsData(t *testing.T) {
+	s := NewStore("c0", 0)
+	d := NewDirect(s)
+	ctx := context.Background()
+	if err := d.Upload(ctx, "a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink below current usage: existing data stays readable, new
+	// uploads are rejected and counted.
+	s.SetQuota(50)
+	if got := s.Quota(); got != 50 {
+		t.Fatalf("Quota() = %d, want 50", got)
+	}
+	err := d.Upload(ctx, "b", []byte("x"))
+	if !errors.Is(err, cloud.ErrQuotaExceeded) {
+		t.Fatalf("upload after shrink err = %v, want ErrQuotaExceeded", err)
+	}
+	if data, err := d.Download(ctx, "a"); err != nil || len(data) != 100 {
+		t.Fatalf("existing data after shrink: len=%d err=%v", len(data), err)
+	}
+	if got := s.QuotaRejections(); got != 1 {
+		t.Fatalf("QuotaRejections = %d, want 1", got)
+	}
+	// Overwriting an existing file with a SMALLER version shrinks usage
+	// and must be allowed even while over quota.
+	if err := d.Upload(ctx, "a", make([]byte, 40)); err != nil {
+		t.Fatalf("shrinking overwrite rejected: %v", err)
+	}
+	// Grow the quota back: uploads flow again, rejection count sticks.
+	s.SetQuota(0)
+	if err := d.Upload(ctx, "b", []byte("x")); err != nil {
+		t.Fatalf("upload after grow: %v", err)
+	}
+	if got := s.QuotaRejections(); got != 1 {
+		t.Fatalf("QuotaRejections after grow = %d, want 1", got)
+	}
+}
+
+func TestFlakySetQuotaFull(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	ctx := context.Background()
+	if err := f.Upload(ctx, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetQuotaFull(true)
+	for i := 0; i < 3; i++ {
+		if err := f.Upload(ctx, "b", []byte("y")); !errors.Is(err, cloud.ErrQuotaExceeded) {
+			t.Fatalf("upload %d err = %v, want ErrQuotaExceeded", i, err)
+		}
+	}
+	// A full cloud is not a dead cloud: reads, lists and deletes work.
+	if data, err := f.Download(ctx, "a"); err != nil || string(data) != "x" {
+		t.Fatalf("download while quota-full: %q, %v", data, err)
+	}
+	if _, err := f.List(ctx, ""); err != nil {
+		t.Fatalf("list while quota-full: %v", err)
+	}
+	if err := f.Delete(ctx, "a"); err != nil {
+		t.Fatalf("delete while quota-full: %v", err)
+	}
+	if got := f.InjectedQuota(); got != 3 {
+		t.Fatalf("InjectedQuota = %d, want 3", got)
+	}
+	f.SetQuotaFull(false)
+	if err := f.Upload(ctx, "b", []byte("y")); err != nil {
+		t.Fatalf("upload after quota restore: %v", err)
+	}
+	if got := f.InjectedQuota(); got != 3 {
+		t.Fatalf("InjectedQuota after restore = %d, want 3 still", got)
+	}
+}
+
+func TestFlakyQuotaWindowExactAccounting(t *testing.T) {
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	ctx := context.Background()
+	// Ops 0..5: upload, download, upload, upload, download, upload.
+	// Window [2, 5): op 2 (upload) and op 3 (upload) are rejected; op 4
+	// is a download and sails through — quota never fails reads.
+	f.AddQuotaWindow(2, 5)
+	if err := f.Upload(ctx, "a", []byte("x")); err != nil { // op 0
+		t.Fatal(err)
+	}
+	if _, err := f.Download(ctx, "a"); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := f.Upload(ctx, "b", []byte("y")); !errors.Is(err, cloud.ErrQuotaExceeded) { // op 2
+		t.Fatalf("op 2 err = %v, want ErrQuotaExceeded", err)
+	}
+	if err := f.Upload(ctx, "b", []byte("y")); !errors.Is(err, cloud.ErrQuotaExceeded) { // op 3
+		t.Fatalf("op 3 err = %v, want ErrQuotaExceeded", err)
+	}
+	if _, err := f.Download(ctx, "a"); err != nil { // op 4: in-window read
+		t.Fatalf("in-window download err = %v, want nil", err)
+	}
+	if err := f.Upload(ctx, "b", []byte("y")); err != nil { // op 5: window closed
+		t.Fatalf("op 5 err = %v, want nil", err)
+	}
+	if got := f.InjectedQuota(); got != 2 {
+		t.Fatalf("InjectedQuota = %d, want exactly 2", got)
+	}
+	transient, outage := f.InjectedFaults()
+	if transient.Total() != 0 || outage.Total() != 0 {
+		t.Fatalf("quota window leaked other faults: transient=%+v outage=%+v", transient, outage)
+	}
+}
+
+func TestFlakyOutageBeatsQuota(t *testing.T) {
+	// A down cloud reports unavailability, not quota: the two fault
+	// axes stay distinguishable for the layers above.
+	f := NewFlaky(NewDirect(NewStore("c0", 0)), 0, 1)
+	f.SetQuotaFull(true)
+	f.SetDown(true)
+	err := f.Upload(context.Background(), "a", []byte("x"))
+	if !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if got := f.InjectedQuota(); got != 0 {
+		t.Fatalf("InjectedQuota = %d, want 0 while down", got)
+	}
+	f.SetDown(false)
+	err = f.Upload(context.Background(), "a", []byte("x"))
+	if !errors.Is(err, cloud.ErrQuotaExceeded) {
+		t.Fatalf("err after outage = %v, want ErrQuotaExceeded", err)
+	}
+}

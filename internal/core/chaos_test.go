@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudsim"
 	"unidrive/internal/health"
@@ -308,6 +309,256 @@ func TestChaosBreakerFailover(t *testing.T) {
 	}
 
 	// Fault accounting stays exact with breakers in the stack.
+	reconcile(t, r, "alpha", regA)
+	reconcile(t, r, "beta", regB)
+}
+
+// quotaDevice is chaosDevice plus the capacity stack: a per-device
+// tracker on its own manual clock, so the test controls exactly when
+// Full clouds become eligible for re-probing. The core clock stays
+// scaled — qlock sleeps on it between acquisition attempts, and a
+// frozen clock there would hang a contended lock — while the tracker
+// only ever reads its clock, never sleeps on it.
+func (r *rig) quotaDevice(t *testing.T, name string, seed int64) (*Client, *localfs.Mem, *obs.Registry, *capacity.Tracker, *vclock.Manual) {
+	t.Helper()
+	folder := localfs.NewMem()
+	reg := obs.NewRegistry()
+	capClk := vclock.NewManual(time.Unix(1_700_000_000, 0))
+	tracker := capacity.NewTracker(capacity.Config{Clock: capClk, Obs: reg})
+	var clouds []cloud.Interface
+	var flakies []*cloudsim.Flaky
+	for i, st := range r.stores {
+		f := cloudsim.NewFlaky(cloudsim.NewDirect(st), 0, seed*100+int64(i))
+		flakies = append(flakies, f)
+		clouds = append(clouds, f)
+	}
+	r.flaky[name] = flakies
+	c, err := New(clouds, folder, Config{
+		Device:     name,
+		Passphrase: "shared-secret",
+		Theta:      4096,
+		Clock:      vclock.NewScaled(50),
+		LockExpiry: 2 * time.Second,
+		Obs:        reg,
+		Capacity:   tracker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, folder, reg, tracker, capClk
+}
+
+// reconcileQuota asserts that every quota rejection the simulators
+// performed — store-level (shared by all devices) or injected at a
+// device's Flaky wrapper — was observed by exactly one device's
+// capacity tracker. This only holds because the capacity observer
+// sits directly above the raw connector stack: one simulator
+// rejection is one ErrQuotaExceeded surfaced to one tracker.
+func reconcileQuota(t *testing.T, r *rig, trackers map[string]*capacity.Tracker) {
+	t.Helper()
+	for i, st := range r.stores {
+		name := st.Name()
+		var observed, simulated int64
+		for device, trk := range trackers {
+			observed += trk.Rejections(name)
+			simulated += int64(r.flaky[device][i].InjectedQuota())
+		}
+		simulated += st.QuotaRejections()
+		if observed != simulated {
+			t.Errorf("%s: trackers observed %d quota rejections, simulators performed %d",
+				name, observed, simulated)
+		}
+	}
+}
+
+// TestChaosQuotaExhaustionSoak is the capacity soak: three of five
+// clouds run out of quota mid-workload — one by a runtime store-quota
+// shrink below its current usage (visible to every device), two by
+// scripted wrapper rejections — and the writing device must commit
+// the in-flight files THIN (>= K blocks on the surviving clouds)
+// within a bounded number of passes, the reading device must still
+// converge byte-identically (full clouds keep serving downloads), and
+// every simulator rejection must reconcile one-for-one with tracker
+// observations. Then capacity returns, and a repair scrub re-expands
+// every thin segment back to its full placement.
+func TestChaosQuotaExhaustionSoak(t *testing.T) {
+	r := newRig(5)
+	a, fa, regA, trkA, capClkA := r.quotaDevice(t, "alpha", 71)
+	b, fb, regB, trkB, _ := r.quotaDevice(t, "beta", 72)
+	trackers := map[string]*capacity.Tracker{"alpha": trkA, "beta": trkB}
+
+	// Phase A: healthy baseline, both devices converged.
+	want := map[string]string{
+		"base/report.txt": randContent(50, 9_000),
+		"base/data.bin":   randContent(51, 5_000),
+	}
+	for p, content := range want {
+		writeFile(t, fa, p, content)
+	}
+	baseRep := syncChaos(t, a)
+	syncChaosTo(t, b, baseRep.Version)
+
+	// Phase B: mid-workload exhaustion. c1's quota shrinks below what
+	// it already stores, so every further upload there — blocks, lock
+	// files, metadata deltas — is rejected; c2 and c3 reject alpha's
+	// next dozen ops at the wrapper. The windows are transient (later
+	// lock and delta writes must pass, or the 3-of-5 quorum dies), but
+	// the tracker's Full verdicts persist because its manual clock
+	// never reaches the re-probe interval. That leaves c0 and c4 with
+	// space: 2 clouds x MaxPerCloud 2 = 4 placements — at least K (3)
+	// but short of NormalBlocks (5) — so new segments must commit THIN
+	// rather than fail or spin.
+	r.stores[1].SetQuota(1)
+	for _, i := range []int{2, 3} {
+		f := r.flaky["alpha"][i]
+		f.AddQuotaWindow(f.Ops(), f.Ops()+12)
+	}
+	want["burst/big.bin"] = randContent(52, 10_000)
+	want["burst/note.txt"] = randContent(53, 2_000)
+	writeFile(t, fa, "burst/big.bin", want["burst/big.bin"])
+	writeFile(t, fa, "burst/note.txt", want["burst/note.txt"])
+
+	// Bounded retries are the no-hot-loop proof: quota rejections
+	// re-plan within the pass instead of burning whole attempts, so a
+	// handful of passes must land the thin commit.
+	var thinRep SyncReport
+	committed := false
+	for attempt := 0; attempt < 5 && !committed; attempt++ {
+		rep, err := a.SyncOnce(ctxT(t))
+		if err == nil {
+			thinRep, committed = rep, true
+		}
+	}
+	if !committed {
+		t.Fatal("alpha never committed within 5 passes under quota exhaustion — hot loop or livelock")
+	}
+	if got := regA.Counter("core.commit.thin_segments").Value(); got == 0 {
+		t.Error("no thin-segment commits counted despite 3 exhausted clouds")
+	}
+	// c1 is hard-full at the store: still Full after the pass. c2/c3
+	// are not asserted — their windows end mid-pass, and the first
+	// successful post-window upload (typically a lock file) is a
+	// legitimate probe that flips them back to OK.
+	if st := trkA.State("c1"); st != capacity.Full {
+		t.Errorf("alpha capacity state for c1 = %v, want full", st)
+	}
+	for _, name := range []string{"c0", "c4"} {
+		if st := trkA.State(name); st != capacity.OK {
+			t.Errorf("alpha capacity state for %s = %v, want ok", name, st)
+		}
+	}
+
+	// Every committed segment holds at least K blocks; the quota-era
+	// segments are thin, short of the normal placement, and placed
+	// only on clouds with space.
+	target := a.Params().NormalBlocks()
+	thin := 0
+	for id, seg := range a.Image().AllSegments() {
+		if len(seg.Blocks) < seg.K {
+			t.Errorf("segment %s committed with %d blocks < K=%d", id, len(seg.Blocks), seg.K)
+		}
+		if !seg.Thin {
+			continue
+		}
+		thin++
+		if len(seg.Blocks) >= target {
+			t.Errorf("thin segment %s holds %d blocks, expected fewer than the %d-block normal placement",
+				id, len(seg.Blocks), target)
+		}
+		for _, blk := range seg.Blocks {
+			if blk.CloudID != "c0" && blk.CloudID != "c4" {
+				t.Errorf("thin segment %s placed a block on exhausted cloud %s", id, blk.CloudID)
+			}
+		}
+	}
+	if thin == 0 {
+		t.Fatal("no thin segments committed despite 3 exhausted clouds")
+	}
+
+	// Beta converges byte-identically: full clouds still serve reads,
+	// and K-of-N reconstruction covers the thin placements.
+	syncChaosTo(t, b, thinRep.Version)
+	for p, content := range want {
+		got, err := fb.ReadFile(p)
+		if err != nil {
+			t.Fatalf("beta missing %s: %v", p, err)
+		}
+		if !bytes.Equal(got, []byte(content)) {
+			t.Errorf("%s differs on beta (%d vs %d bytes)", p, len(got), len(content))
+		}
+	}
+
+	// The exhaustion actually happened where the test scripted it, and
+	// the accounting is exact on both sides of the seam.
+	if trkA.Rejections("c1") == 0 {
+		t.Error("alpha observed no store-level quota rejections on c1")
+	}
+	if r.flaky["alpha"][2].InjectedQuota() == 0 || r.flaky["alpha"][3].InjectedQuota() == 0 {
+		t.Error("quota windows on c2/c3 injected nothing — the exhaustion missed the workload")
+	}
+	reconcileQuota(t, r, trackers)
+
+	// Phase C: capacity returns. c1's quota is lifted and the probe
+	// interval elapses on the tracker's clock, so the Full verdicts
+	// decay to Probing; a repair scrub must then re-expand every thin
+	// segment back to its full placement and clear the marks.
+	r.stores[1].SetQuota(0)
+	capClkA.Advance(2 * time.Minute)
+	srep, err := a.Scrub(ctxT(t), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.ThinSegments != thin || srep.ThinCleared != thin || srep.ReexpandedBlocks == 0 || !srep.Committed {
+		t.Errorf("scrub walked %d thin, cleared %d, re-expanded %d blocks (committed=%v); want %d walked and cleared",
+			srep.ThinSegments, srep.ThinCleared, srep.ReexpandedBlocks, srep.Committed, thin)
+	}
+	if len(srep.UnrepairableCapacity) != 0 {
+		t.Errorf("segments still capacity-blocked after quota restore: %v", srep.UnrepairableCapacity)
+	}
+	for id, seg := range a.Image().AllSegments() {
+		if seg.Thin {
+			t.Errorf("segment %s still thin after re-expansion", id)
+		}
+		if len(seg.Blocks) < target || len(seg.Blocks) > a.Params().MaxBlocks() {
+			t.Errorf("segment %s holds %d blocks after re-expansion, want %d..%d",
+				id, len(seg.Blocks), target, a.Params().MaxBlocks())
+		}
+		perCloud := make(map[string]int)
+		for _, blk := range seg.Blocks {
+			perCloud[blk.CloudID]++
+		}
+		for name, n := range perCloud {
+			if n > a.Params().MaxPerCloud() {
+				t.Errorf("segment %s holds %d blocks on %s, above MaxPerCloud %d",
+					id, n, name, a.Params().MaxPerCloud())
+			}
+		}
+	}
+
+	// Post-restore writes place fully again, and beta picks up both
+	// the re-expansion commits and the new file.
+	want["after/fresh.bin"] = randContent(54, 6_000)
+	writeFile(t, fa, "after/fresh.bin", want["after/fresh.bin"])
+	afterRep := syncChaos(t, a)
+	for id, seg := range a.Image().AllSegments() {
+		if seg.Thin {
+			t.Errorf("segment %s committed thin after capacity returned", id)
+		}
+	}
+	syncChaosTo(t, b, afterRep.Version)
+	for p, content := range want {
+		got, err := fb.ReadFile(p)
+		if err != nil {
+			t.Fatalf("beta missing %s after recovery: %v", p, err)
+		}
+		if !bytes.Equal(got, []byte(content)) {
+			t.Errorf("%s differs on beta after recovery", p)
+		}
+	}
+
+	// The quota books still balance after probing and re-expansion,
+	// and the transient/outage books were never touched.
+	reconcileQuota(t, r, trackers)
 	reconcile(t, r, "alpha", regA)
 	reconcile(t, r, "beta", regB)
 }

@@ -26,11 +26,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/chunker"
 	"unidrive/internal/cloud"
 	"unidrive/internal/deltasync"
@@ -131,6 +133,16 @@ type Config struct {
 	// clouds. Build one with health.NewDefaultTracker, sharing the
 	// same Clock and Obs as this config.
 	Health *health.Tracker
+	// Capacity, when non-nil, adds per-cloud quota-exhaustion tracking:
+	// every cloud is wrapped in a capacity observer (so each real
+	// ErrQuotaExceeded is counted exactly once), the transfer engine
+	// stops planning uploads onto Full clouds and re-plans quota-
+	// rejected blocks onto clouds with space, segments that cannot
+	// reach their full placement commit thin (≥ K blocks) and are
+	// re-expanded by scrub/rebalance when space returns. A Full cloud
+	// keeps serving downloads, lists and lock traffic. Build one with
+	// capacity.NewDefaultTracker, sharing this config's Clock and Obs.
+	Capacity *capacity.Tracker
 	// ScrubRate caps the anti-entropy scrubber's block fetches per
 	// second (see Client.Scrub); 0 leaves the scrub unpaced.
 	ScrubRate float64
@@ -276,6 +288,12 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 		if cfg.Obs != nil {
 			c = obs.Instrument(c, cfg.Obs, cfg.Clock)
 		}
+		// The capacity observer sits between the instrument and the
+		// breaker guard: it must see exactly the requests that reached
+		// the provider (quota rejections reconcile one-for-one against
+		// the simulator in chaos soaks), and a breaker fail-fast is not
+		// capacity evidence.
+		c = cfg.Capacity.Wrap(c)
 		if cfg.Health != nil {
 			c = cfg.Health.Wrap(c)
 		}
@@ -294,6 +312,7 @@ func New(clouds []cloud.Interface, folder localfs.Folder, cfg Config) (*Client, 
 			Clock:         cfg.Clock,
 			Obs:           cfg.Obs,
 			Health:        cfg.Health,
+			Capacity:      cfg.Capacity,
 			Fair:          cfg.Fair,
 			Tenant:        cfg.TenantID,
 		}),
@@ -348,6 +367,10 @@ func (c *Client) Obs() *obs.Registry { return c.cfg.Obs }
 // configured).
 func (c *Client) Health() *health.Tracker { return c.cfg.Health }
 
+// Capacity returns the client's quota-exhaustion tracker (nil when
+// none was configured).
+func (c *Client) Capacity() *capacity.Tracker { return c.cfg.Capacity }
+
 // healthGate adapts an optional tracker to qlock's Health interface;
 // a plain nil-tracker assignment would produce a non-nil interface
 // holding a nil pointer.
@@ -364,6 +387,18 @@ func (c *Client) Image() *meta.Image {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.last.Clone()
+}
+
+// FetchImage fetches the current committed metadata image from the
+// clouds and returns a deep copy. Read-only with respect to the local
+// folder and the clouds' data — the metadata view behind `unidrive
+// status`.
+func (c *Client) FetchImage(ctx context.Context) (*meta.Image, error) {
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return img.Clone(), nil
 }
 
 // Conflicts returns the conflict-copy paths created so far, oldest

@@ -197,6 +197,14 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 		for _, p := range session.plans {
 			if !p.plan.Available() {
 				session.release()
+				if quotaConstrained(p.plan, c.names) {
+					// The loud < K failure: not even availability fits in
+					// the clouds' remaining quota. Distinct from generic
+					// unavailability so the sync loop can back off to the
+					// safety net instead of hot-looping failure backoff.
+					return nil, out, fmt.Errorf("core: segment %s: %w (%d/%d blocks)",
+						p.seg.ID, ErrInsufficientCapacity, len(p.plan.UploadedBlocks()), c.params.K)
+				}
 				return nil, out, fmt.Errorf("core: segment %s could not reach availability (%d/%d blocks)",
 					p.seg.ID, len(p.plan.UploadedBlocks()), c.params.K)
 			}
@@ -223,9 +231,43 @@ func (c *Client) uploadAvailability(ctx context.Context, changes []*meta.Change)
 			for blockID, cloudName := range pl {
 				seg.AddBlockSum(blockID, cloudName, src.sum(blockID))
 			}
+			// The availability placement is below the fair-share target
+			// by design (K blocks suffice); committing it thin means a
+			// crash before the reliability commit leaves a record the
+			// scrubber knows to re-expand.
+			seg.Thin = len(pl) < c.normalTarget(seg)
 		}
 	}
 	return session, out, nil
+}
+
+// ErrInsufficientCapacity reports that the clouds' remaining quota
+// cannot host even the K blocks a segment needs for availability —
+// capacity exhaustion severe enough that the pass must fail loudly
+// (a thin commit requires at least K blocks placed).
+var ErrInsufficientCapacity = errors.New("core: insufficient cloud capacity for segment availability")
+
+// quotaConstrained reports whether the plan wrote any cloud off for
+// quota exhaustion — the signal that a shortfall is a capacity
+// problem, not a connectivity one.
+func quotaConstrained(plan *sched.UploadPlan, names []string) bool {
+	for _, n := range names {
+		if plan.IsFull(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// normalTarget is the full placement a segment should reach: the
+// placement parameters' normal-block count, capped by the segment's
+// code width.
+func (c *Client) normalTarget(seg *meta.Segment) int {
+	n := c.params.NormalBlocks()
+	if n > seg.N {
+		n = seg.N
+	}
+	return n
 }
 
 // uploadReliability runs the reliability-second phase: every segment
@@ -249,11 +291,20 @@ func (c *Client) uploadReliability(ctx context.Context, session *uploadSession) 
 	for i, p := range session.plans {
 		overProvisioned += p.plan.OverProvisioned()
 		placement := p.plan.Placement()
-		if len(placement) == committed[i] {
+		thin := len(placement) < c.normalTarget(p.seg)
+		if thin {
+			// The reliability phase could not reach fair share — quota
+			// pressure left the segment under-replicated. It stays
+			// committed thin; scrub/rebalance re-expand it when space
+			// returns.
+			c.cfg.Obs.Counter("core.commit.thin_segments").Inc()
+		}
+		if len(placement) == committed[i] && thin == p.seg.Thin {
 			continue // nothing new to record
 		}
 		updated := p.seg.Clone()
 		updated.Blocks = nil
+		updated.Thin = thin
 		for blockID, cloudName := range placement {
 			updated.AddBlockSum(blockID, cloudName, p.src.sum(blockID))
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"hash/fnv"
 	"math/rand"
 	"time"
@@ -127,8 +128,21 @@ func (c *Client) RunLoop(ctx context.Context, onError func(error)) {
 
 	fail := func(err error) {
 		failures++
-		c.cfg.Obs.Counter("sync.loop.backoffs").Inc()
 		iv := c.resolveIntervals(watching)
+		if errors.Is(err, ErrInsufficientCapacity) {
+			// Quota exhaustion is not transient: a jittered retry
+			// re-fails identically until space returns (the user frees
+			// data, or the capacity tracker's probe re-admits a cloud).
+			// Wait a full safety-net interval instead of hot-looping
+			// through the exponential backoff ladder.
+			c.cfg.Obs.Counter("sync.loop.quota_blocked").Inc()
+			retryAt = clk.Now().Add(iv.fullRescan)
+			if onError != nil {
+				onError(err)
+			}
+			return
+		}
+		c.cfg.Obs.Counter("sync.loop.backoffs").Inc()
 		delay := iv.backoffBase
 		for i := 1; i < failures && delay < iv.backoffMax; i++ {
 			delay *= 2

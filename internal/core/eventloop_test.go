@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/cloud"
 	"unidrive/internal/cloudsim"
 	"unidrive/internal/localfs"
@@ -400,5 +403,87 @@ func TestCheckpointIntervalThrottlesSaveState(t *testing.T) {
 	}
 	if st2.Size != st1.Size || !st2.ModTime.Equal(st1.ModTime) {
 		t.Fatal("second pass checkpointed despite the interval")
+	}
+}
+
+// TestRunLoopQuotaBlockedBacksOffToSafetyNet pins the capacity-aware
+// backoff: a pass failing with ErrInsufficientCapacity waits a full
+// safety-net interval (it does NOT climb the exponential ladder — a
+// jittered retry re-fails identically until space returns), and the
+// safety-net retry succeeds once quota is restored and the capacity
+// tracker's probe re-admits the clouds.
+func TestRunLoopQuotaBlockedBacksOffToSafetyNet(t *testing.T) {
+	clk := vclock.NewManual(time.Unix(1_700_000_000, 0))
+	folder := localfs.NewMem()
+	if err := folder.WriteFile("doc.txt", make([]byte, 8192), clk.Now()); err != nil {
+		t.Fatal(err)
+	}
+	tracker := capacity.NewTracker(capacity.Config{ProbeInterval: 5 * time.Second, Clock: clk})
+	var passes atomic.Int64
+	lr := newLoopRig(t, folder, Config{
+		Clock:              clk,
+		SyncInterval:       time.Second,
+		FullRescanInterval: 10 * time.Second,
+		DisableWatch:       true,
+		Capacity:           tracker,
+		OnPass:             func(SyncReport) { passes.Add(1) },
+	})
+	for _, f := range lr.flaky {
+		f.SetQuotaFull(true)
+	}
+
+	var mu sync.Mutex
+	var lastErr error
+	var errs atomic.Int64
+	startLoop(t, lr.client, func(err error) {
+		mu.Lock()
+		lastErr = err
+		mu.Unlock()
+		errs.Add(1)
+	})
+
+	// The immediate first pass hits quota on every cloud: the upload
+	// plan cannot reach availability and the failure is classified.
+	waitCond(t, "first quota failure", func() bool { return errs.Load() >= 1 })
+	mu.Lock()
+	got := lastErr
+	mu.Unlock()
+	if !errors.Is(got, ErrInsufficientCapacity) {
+		t.Fatalf("pass error = %v, want ErrInsufficientCapacity", got)
+	}
+	if got := lr.reg.Counter("sync.loop.quota_blocked").Value(); got != 1 {
+		t.Fatalf("sync.loop.quota_blocked = %d, want 1", got)
+	}
+	if got := lr.reg.Counter("sync.loop.backoffs").Value(); got != 0 {
+		t.Fatalf("sync.loop.backoffs = %d, want 0 — quota failure took the backoff ladder", got)
+	}
+
+	// The backoff ladder would retry within ~1.5×SyncInterval; the
+	// quota path must stay quiet until the 10s safety net.
+	clk.Advance(3 * time.Second)
+	time.Sleep(50 * time.Millisecond)
+	if errs.Load() != 1 {
+		t.Fatalf("retried %d times within 3s of a quota block", errs.Load()-1)
+	}
+
+	// Space returns; the tracker's probe cooldown (5s) elapses before
+	// the safety-net retry, so the 10s pass re-admits and succeeds.
+	for _, f := range lr.flaky {
+		f.SetQuotaFull(false)
+	}
+	step := 50 * time.Millisecond
+	deadline := time.Now().Add(10 * time.Second)
+	for passes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no successful pass after quota restore")
+		}
+		clk.Advance(step)
+		time.Sleep(time.Millisecond)
+	}
+	if got := lr.reg.Counter("sync.loop.backoffs").Value(); got != 0 {
+		t.Fatalf("sync.loop.backoffs = %d after recovery, want 0", got)
+	}
+	if errs.Load() != 1 {
+		t.Fatalf("extra pass failures after restore: %d", errs.Load())
 	}
 }

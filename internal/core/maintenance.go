@@ -90,6 +90,97 @@ func (c *Client) TrimOverProvisioned(ctx context.Context) (int, error) {
 	return deleted, nil
 }
 
+// RelieveCapacityPressure is the capacity pressure valve: when the
+// capacity tracker reports clouds Full, it deletes over-provisioned
+// EXTRA parity blocks — each full cloud's surplus above its fair
+// share — from the full clouds only, committing the reduced
+// placements first. Fair-share blocks and every block on a cloud with
+// space are untouched, so no segment loses redundancy it is entitled
+// to; the freed bytes flow through the capacity observer and reopen
+// the cloud for a probe. It returns the number of blocks deleted, 0
+// without work (no tracker, nothing Full, nothing over-provisioned).
+func (c *Client) RelieveCapacityPressure(ctx context.Context) (int, error) {
+	tracker := c.cfg.Capacity
+	if !tracker.AnyFull() {
+		return 0, nil
+	}
+	full := make(map[string]bool)
+	for _, st := range tracker.Snapshot() {
+		if st.State == "full" {
+			full[st.Cloud] = true
+		}
+	}
+	if len(full) == 0 {
+		return 0, nil
+	}
+	lock, err := c.locks.Acquire(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer c.releaseLock(ctx, lock)
+
+	img, err := c.store.Fetch(ctx)
+	if err != nil {
+		return 0, err
+	}
+	fair := c.params.FairShare()
+	var changes []*meta.Change
+	type deletion struct {
+		segID     string
+		placement map[int]string
+	}
+	var deletions []deletion
+	for _, segID := range sortedSegmentIDs(img) {
+		seg, _ := img.Segment(segID)
+		perCloud := make(map[string][]int)
+		for _, b := range seg.Blocks {
+			perCloud[b.CloudID] = append(perCloud[b.CloudID], b.BlockID)
+		}
+		doomed := make(map[int]string)
+		for cloudName, blocks := range perCloud {
+			if !full[cloudName] || len(blocks) <= fair {
+				continue
+			}
+			sortInts(blocks)
+			for _, b := range blocks[fair:] {
+				doomed[b] = cloudName
+			}
+		}
+		if len(doomed) == 0 {
+			continue
+		}
+		updated := seg.Clone()
+		kept := updated.Blocks[:0]
+		for _, b := range updated.Blocks {
+			if _, dead := doomed[b.BlockID]; !dead {
+				kept = append(kept, b)
+			}
+		}
+		updated.Blocks = kept
+		changes = append(changes, &meta.Change{
+			Type: meta.ChangeRelocate, Path: segID,
+			Segments: []*meta.Segment{updated}, Time: time.Time{},
+		})
+		deletions = append(deletions, deletion{segID: segID, placement: doomed})
+	}
+	if len(changes) == 0 {
+		return 0, nil
+	}
+	if !lock.Valid() {
+		return 0, fmt.Errorf("core: quorum lock lost during capacity relief")
+	}
+	if _, err := c.store.Commit(ctx, changes); err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, d := range deletions {
+		deleted += c.engine.DeleteBlocks(ctx, d.segID, d.placement)
+	}
+	c.cfg.Obs.Counter("core.capacity.pressure_deleted").Add(int64(deleted))
+	c.setLast(c.store.Cached())
+	return deleted, nil
+}
+
 // GCOrphanBlocks deletes coded blocks that exist in the clouds'
 // block directories but are referenced by no segment in the committed
 // metadata. Orphans arise when a device uploads blocks and then fails

@@ -17,19 +17,30 @@ import (
 // commit.
 func (c *Client) Scrub(ctx context.Context, repair bool) (*scrub.Report, error) {
 	s, err := scrub.New(scrub.Config{
-		Engine:     c.engine,
-		Image:      func(ctx context.Context) (*meta.Image, error) { return c.store.Fetch(ctx) },
-		Commit:     c.commitRepairs,
-		Journal:    c.journal,
-		Fair:       c.cfg.Fair,
-		Tenant:     c.cfg.TenantID,
-		RatePerSec: c.cfg.ScrubRate,
-		Device:     c.cfg.Device,
-		Clock:      c.cfg.Clock,
-		Obs:        c.cfg.Obs,
+		Engine:      c.engine,
+		Image:       func(ctx context.Context) (*meta.Image, error) { return c.store.Fetch(ctx) },
+		Commit:      c.commitRepairs,
+		Journal:     c.journal,
+		Fair:        c.cfg.Fair,
+		Tenant:      c.cfg.TenantID,
+		Capacity:    c.cfg.Capacity,
+		Target:      c.params.NormalBlocks(),
+		MaxPerCloud: c.params.MaxPerCloud(),
+		RatePerSec:  c.cfg.ScrubRate,
+		Device:      c.cfg.Device,
+		Clock:       c.cfg.Clock,
+		Obs:         c.cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if repair && c.cfg.Capacity.AnyFull() {
+		// Pressure valve before the cycle: reclaiming over-provisioned
+		// extras from full clouds may free exactly the space the
+		// cycle's repairs and thin re-expansions need.
+		if _, err := c.RelieveCapacityPressure(ctx); err != nil {
+			c.cfg.Obs.Counter("core.capacity.pressure_failed").Inc()
+		}
 	}
 	return s.Cycle(ctx, repair)
 }
@@ -76,6 +87,9 @@ func (c *Client) commitRepairs(ctx context.Context, changes []*meta.Change) (int
 		for _, b := range want.Blocks {
 			merged.AddBlockSum(b.BlockID, b.CloudID, b.Checksum)
 		}
+		// The scrubber's thin verdict is authoritative: re-expansion
+		// clears the mark, a capacity-blocked repair leaves it.
+		merged.Thin = want.Thin
 		kept = append(kept, &meta.Change{
 			Type: meta.ChangeRelocate, Path: ch.Path,
 			Segments: []*meta.Segment{merged}, Time: ch.Time,

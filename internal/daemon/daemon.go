@@ -24,6 +24,10 @@
 //     pair — tenant A's dead account on a cloud says nothing about
 //     tenant B's, so an open breaker must never reject another
 //     tenant's calls;
+//   - capacity: each tenant has its own quota-exhaustion tracker for
+//     the same reason — quota is a property of the tenant's own
+//     account on a cloud, so tenant A running its free tier dry must
+//     not stop tenant B's uploads to the same provider;
 //   - telemetry: each tenant records into its own obs.Registry; the
 //     daemon rolls the per-tenant series into fleet aggregates with
 //     obs.MergeSnapshots on demand, served at /debug/unidrive.
@@ -37,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/cloud"
 	"unidrive/internal/core"
 	"unidrive/internal/health"
@@ -108,9 +113,10 @@ type Tenant struct {
 	id     string
 	weight float64
 	names  []string // the tenant's cloud names, sorted
-	client *core.Client
-	reg    *obs.Registry
-	health *health.Tracker
+	client   *core.Client
+	reg      *obs.Registry
+	health   *health.Tracker
+	capacity *capacity.Tracker
 
 	// loop state, guarded by the daemon's mu.
 	cancel context.CancelFunc
@@ -128,6 +134,9 @@ func (t *Tenant) Obs() *obs.Registry { return t.reg }
 
 // Health returns the tenant's private breaker tracker.
 func (t *Tenant) Health() *health.Tracker { return t.health }
+
+// Capacity returns the tenant's private quota-exhaustion tracker.
+func (t *Tenant) Capacity() *capacity.Tracker { return t.capacity }
 
 // CloudNames returns the tenant's cloud names, sorted.
 func (t *Tenant) CloudNames() []string { return append([]string(nil), t.names...) }
@@ -169,9 +178,11 @@ func (d *Daemon) AddTenant(tc TenantConfig) (*Tenant, error) {
 	}
 	reg := obs.NewRegistry()
 	tracker := health.NewDefaultTracker(d.cfg.Clock, d.tenantSeed(tc.ID), reg)
+	capTracker := capacity.NewDefaultTracker(d.cfg.Clock, reg)
 	cc := tc.Core
 	cc.Obs = reg
 	cc.Health = tracker
+	cc.Capacity = capTracker
 	cc.Fair = d.fair
 	cc.TenantID = tc.ID
 	if cc.Clock == nil {
@@ -195,12 +206,13 @@ func (d *Daemon) AddTenant(tc TenantConfig) (*Tenant, error) {
 	}
 	sort.Strings(names)
 	t := &Tenant{
-		id:     tc.ID,
-		weight: tc.Weight,
-		names:  names,
-		client: client,
-		reg:    reg,
-		health: tracker,
+		id:       tc.ID,
+		weight:   tc.Weight,
+		names:    names,
+		client:   client,
+		reg:      reg,
+		health:   tracker,
+		capacity: capTracker,
 	}
 
 	d.mu.Lock()

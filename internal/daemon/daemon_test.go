@@ -533,3 +533,54 @@ func TestDaemonAddTenantErrors(t *testing.T) {
 		t.Error("sync of an unknown tenant did not fail")
 	}
 }
+
+// TestDaemonCapacityRollup pins per-tenant capacity isolation and the
+// debug rollup: tenant A exhausting its c1 quota marks A's tracker
+// full and surfaces in A's fleet-view row, while tenant B's account on
+// the same provider name stays untouched.
+func TestDaemonCapacityRollup(t *testing.T) {
+	clk := vclock.NewScaled(50)
+	d := daemon.New(daemon.Config{ConnsPerCloud: 4, Clock: clk, Obs: obs.NewRegistry()})
+	a := addTenant(t, d, "A", 0, 71, clk, 0)
+	b := addTenant(t, d, "B", 0, 72, clk, 0)
+	a.flaky[1].SetQuotaFull(true)
+	writeFile(t, a.folder, "a.txt", randContent(3, 20_000))
+	writeFile(t, b.folder, "b.txt", randContent(4, 20_000))
+	if _, errs := d.SyncAll(ctxT(t)); errs != nil {
+		t.Fatalf("SyncAll: %v", errs)
+	}
+
+	if got := a.tenant.Capacity().State("c1"); got.String() != "full" {
+		t.Fatalf("tenant A c1 capacity = %v, want full", got)
+	}
+	if got := b.tenant.Capacity().State("c1"); got.String() != "ok" {
+		t.Fatalf("tenant B c1 capacity = %v, want ok — quota bled across tenants", got)
+	}
+
+	rec := httptest.NewRecorder()
+	d.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/unidrive", nil))
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	tenants, _ := body["tenants"].([]any)
+	if len(tenants) != 2 {
+		t.Fatalf("fleet view lists %d tenants, want 2", len(tenants))
+	}
+	rowA, _ := tenants[0].(map[string]any)
+	rowB, _ := tenants[1].(map[string]any)
+	if got, _ := rowA["capacityFullClouds"].(float64); got != 1 {
+		t.Errorf("tenant A capacityFullClouds = %v, want 1", rowA["capacityFullClouds"])
+	}
+	if got, _ := rowB["capacityFullClouds"].(float64); got != 0 {
+		t.Errorf("tenant B capacityFullClouds = %v, want 0", rowB["capacityFullClouds"])
+	}
+	cloudsA, _ := rowA["clouds"].([]any)
+	c1, _ := cloudsA[1].(map[string]any)
+	if c1["capacity"] != "full" {
+		t.Errorf("tenant A c1 row capacity = %v, want full", c1["capacity"])
+	}
+	if rej, _ := c1["quotaRejections"].(float64); rej < 1 {
+		t.Errorf("tenant A c1 quotaRejections = %v, want >= 1", c1["quotaRejections"])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/health"
 	"unidrive/internal/obs"
 )
@@ -18,6 +19,13 @@ type debugCloud struct {
 	// Held is how many of the shared per-cloud connection slots this
 	// tenant holds right now.
 	Held int `json:"held"`
+	// Capacity is the tenant's quota state for this cloud ("ok",
+	// "probing", "full") — per-tenant like the breaker: quota belongs
+	// to this tenant's account, not the provider.
+	Capacity string `json:"capacity"`
+	// QuotaRejections counts quota errors this tenant has observed
+	// from the cloud.
+	QuotaRejections int64 `json:"quotaRejections,omitempty"`
 }
 
 // debugTenant is one tenant's row in the fleet debug view.
@@ -28,6 +36,12 @@ type debugTenant struct {
 	// config left it defaulted).
 	Weight float64      `json:"weight"`
 	Clouds []debugCloud `json:"clouds"`
+	// CapacityFullClouds counts this tenant's clouds currently out of
+	// quota — the fleet operator's capacity-pressure signal.
+	CapacityFullClouds int `json:"capacityFullClouds"`
+	// ThinCommits counts reliability commits that left a segment
+	// under-replicated for capacity (core.commit.thin_segments).
+	ThinCommits int64 `json:"thinCommits,omitempty"`
 }
 
 // fleetView is the /debug/unidrive document.
@@ -56,12 +70,19 @@ func (d *Daemon) debugTenant(t *Tenant) debugTenant {
 		if t.health != nil {
 			state = t.health.Breaker(name).State()
 		}
+		cap := t.capacity.State(name)
+		if cap == capacity.Full {
+			dt.CapacityFullClouds++
+		}
 		dt.Clouds = append(dt.Clouds, debugCloud{
-			Name:    name,
-			Breaker: state.String(),
-			Held:    d.fair.Held(name, t.id),
+			Name:            name,
+			Breaker:         state.String(),
+			Held:            d.fair.Held(name, t.id),
+			Capacity:        cap.String(),
+			QuotaRejections: t.capacity.Rejections(name),
 		})
 	}
+	dt.ThinCommits = t.reg.Counter("core.commit.thin_segments").Value()
 	return dt
 }
 

@@ -197,6 +197,8 @@ func (im *Image) ApplyCOW(changes []*Change, device string) (*Image, error) {
 			if seg.Length == 0 && cs.Length != 0 {
 				seg.Length, seg.K, seg.N = cs.Length, cs.K, cs.N
 			}
+			// Same thin union rule as UpsertSegment.
+			seg.Thin = seg.Thin && cs.Thin
 		}
 		// The entry is replaced wholesale (same as SetSnapshot /
 		// Tombstone): every old snapshot's references go, the new

@@ -80,6 +80,12 @@ type Segment struct {
 	// Blocks lists where coded blocks are currently stored. Multiple
 	// blocks may live on the same cloud.
 	Blocks []BlockLocation `json:"blocks"`
+	// Thin marks the segment under-replicated: it holds at least K
+	// blocks (readable) but fewer than its full fair-share placement,
+	// typically because cloud quotas were exhausted at commit time.
+	// The scrub/rebalance passes re-expand thin segments back to fair
+	// share when capacity returns and clear the flag via a relocate.
+	Thin bool `json:"thin,omitempty"`
 }
 
 // BlockName returns the cloud filename for block blockID of segment
@@ -398,6 +404,9 @@ func (im *Image) UpsertSegment(seg *Segment) {
 	if existing.Length == 0 && seg.Length != 0 {
 		existing.Length, existing.K, existing.N = seg.Length, seg.K, seg.N
 	}
+	// Blocks only union upward: the segment stays thin only while both
+	// records believe it is.
+	existing.Thin = existing.Thin && seg.Thin
 }
 
 // RecountRefs recomputes every segment's RefCount from the snapshots

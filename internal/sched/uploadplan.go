@@ -23,8 +23,10 @@ import (
 //
 // The transfer engine drives the plan: NextBlock(cloud) hands out the
 // next block the cloud should upload, Complete and Fail report
-// outcomes, MarkDead excludes a cloud that stopped responding. All
-// methods are safe for concurrent use.
+// outcomes, MarkDead excludes a cloud that stopped responding, and
+// MarkFull excludes one that ran out of quota (it stays alive for
+// everything except new uploads). All methods are safe for
+// concurrent use.
 type UploadPlan struct {
 	params Params
 	clouds []string
@@ -46,6 +48,15 @@ type UploadPlan struct {
 	// nextExtra is the next fresh over-provisioned block ID.
 	nextExtra int
 	dead      map[string]bool
+	// full marks clouds out of quota: they receive no NEW upload work
+	// but — unlike dead — are alive for downloads, lists and locks.
+	full map[string]bool
+	// fairExempt marks clouds whose fair-share obligation was waived
+	// because their queued normal blocks were re-homed (quota
+	// exhaustion). Unlike full it is never cleared: once a cloud's
+	// share has been handed elsewhere the plan cannot owe it back,
+	// even if quota frees mid-plan.
+	fairExempt map[string]bool
 	// obs receives scheduling-decision counters; nil records nothing.
 	obs *obs.Registry
 }
@@ -69,6 +80,8 @@ func NewUploadPlan(params Params, clouds []string) (*UploadPlan, error) {
 		fairUploaded: make(map[string]int, len(clouds)),
 		nextExtra:    params.NormalBlocks(),
 		dead:         make(map[string]bool),
+		full:         make(map[string]bool),
+		fairExempt:   make(map[string]bool),
 	}
 	// Even, deterministic assignment of the normal parity blocks:
 	// block b goes to cloud b mod N, giving each cloud exactly
@@ -98,7 +111,7 @@ func (p *UploadPlan) SetObs(reg *obs.Registry) {
 func (p *UploadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.dead[cloudName] {
+	if p.dead[cloudName] || p.full[cloudName] {
 		return 0, false
 	}
 	// Normal share first.
@@ -114,8 +127,10 @@ func (p *UploadPlan) NextBlock(cloudName string) (blockID int, ok bool) {
 	// COMPLETED their own fair share (paper Fig 7 — fast clouds get
 	// extras precisely because they finished early), only while some
 	// live cloud's fair share is incomplete, and within the security
-	// ceiling.
-	if p.fairUploaded[cloudName] < p.params.FairShare() {
+	// ceiling. A fair-exempt cloud (its share was re-homed during a
+	// quota episode and its quota has since freed) has nothing owed,
+	// so it qualifies immediately — it is spare capacity now.
+	if !p.fairExempt[cloudName] && p.fairUploaded[cloudName] < p.params.FairShare() {
 		return 0, false
 	}
 	if p.reliableLocked() {
@@ -180,38 +195,38 @@ func (p *UploadPlan) Fail(cloudName string, blockID int) {
 		p.extraFree = append(p.extraFree, blockID)
 		return
 	}
-	if p.dead[cloudName] {
+	if p.dead[cloudName] || p.full[cloudName] {
 		p.reassignLocked(blockID, nil)
 		return
 	}
 	p.fairQueue[cloudName] = append(p.fairQueue[cloudName], blockID)
 }
 
-// orphanedLocked counts normal blocks still owed by dead clouds —
-// queued on one, or in flight to one (those will fail and then need a
-// live home via reassignment).
+// orphanedLocked counts normal blocks still owed by dead or
+// quota-full clouds — queued on one, or in flight to one (those will
+// fail and then need a live home via reassignment).
 func (p *UploadPlan) orphanedLocked() int {
 	n := 0
 	for c, q := range p.fairQueue {
-		if p.dead[c] {
+		if p.dead[c] || p.full[c] {
 			n += len(q)
 		}
 	}
 	for b, c := range p.inflight {
-		if b < p.params.NormalBlocks() && p.dead[c] {
+		if b < p.params.NormalBlocks() && (p.dead[c] || p.full[c]) {
 			n++
 		}
 	}
 	return n
 }
 
-// spareLocked sums the live clouds' remaining capacity under the
-// per-cloud security ceiling, counting queued-but-unstarted work as
-// taken.
+// spareLocked sums the live, non-full clouds' remaining capacity
+// under the per-cloud security ceiling, counting queued-but-unstarted
+// work as taken.
 func (p *UploadPlan) spareLocked() int {
 	spare := 0
 	for _, c := range p.clouds {
-		if p.dead[c] {
+		if p.dead[c] || p.full[c] {
 			continue
 		}
 		if free := p.params.MaxPerCloud() - p.countByCloud[c] - len(p.fairQueue[c]); free > 0 {
@@ -260,14 +275,82 @@ func (p *UploadPlan) MarkDeadAndReassign(cloudName string, ranked []string) int 
 	return moved
 }
 
-// reassignLocked places a dead cloud's normal block onto the first
-// live cloud — in ranked order, then plan order for clouds the
-// ranking omitted — whose assigned-plus-queued block count stays
-// under the security ceiling. Reports whether a home was found.
+// MarkFull excludes a cloud from receiving NEW upload work: its
+// quota is exhausted. Unlike MarkDead the cloud is alive — downloads,
+// lists and lock traffic are unaffected, and ClearFull restores it
+// once space returns. Its fair-share obligation is waived (the plan
+// can finish Reliable without it).
+func (p *UploadPlan) MarkFull(cloudName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.markFullLocked(cloudName)
+}
+
+func (p *UploadPlan) markFullLocked(cloudName string) {
+	if !p.full[cloudName] {
+		p.obs.Counter("sched.plan.full_marks").Inc()
+	}
+	p.full[cloudName] = true
+	p.fairExempt[cloudName] = true
+}
+
+// MarkFullAndReassign is the quota-exhaustion entry point: it marks
+// the cloud full and moves its still-unassigned normal blocks onto
+// clouds with space, preferring the given ranked order (most space /
+// healthiest first), within each target's remaining per-cloud
+// security capacity. It returns the number of blocks moved; blocks
+// that fit nowhere are dropped from the plan — the segment commits
+// thin if at least K blocks land — and counted under
+// sched.plan.quota_dropped.
+func (p *UploadPlan) MarkFullAndReassign(cloudName string, ranked []string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.markFullLocked(cloudName)
+	orphans := p.fairQueue[cloudName]
+	p.fairQueue[cloudName] = nil
+	moved := 0
+	for _, b := range orphans {
+		if p.reassignLocked(b, ranked) {
+			moved++
+		} else {
+			p.obs.Counter("sched.plan.quota_dropped").Inc()
+		}
+	}
+	if moved > 0 {
+		p.obs.Counter("sched.plan.quota_moved").Add(int64(moved))
+	}
+	return moved
+}
+
+// ClearFull re-admits a quota-full cloud after space is reclaimed
+// (probe-after-free). The cloud may again be a reassignment target
+// and receive over-provisioned extras; its waived fair share stays
+// waived — those blocks already found other homes.
+func (p *UploadPlan) ClearFull(cloudName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.full[cloudName] {
+		p.obs.Counter("sched.plan.full_cleared").Inc()
+	}
+	delete(p.full, cloudName)
+}
+
+// IsFull reports whether the cloud is currently marked quota-full.
+func (p *UploadPlan) IsFull(cloudName string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.full[cloudName]
+}
+
+// reassignLocked places a dead or quota-full cloud's normal block
+// onto the first live, non-full cloud — in ranked order, then plan
+// order for clouds the ranking omitted — whose assigned-plus-queued
+// block count stays under the security ceiling. Reports whether a
+// home was found.
 func (p *UploadPlan) reassignLocked(blockID int, ranked []string) bool {
 	seen := make(map[string]bool, len(ranked))
 	try := func(c string) bool {
-		if seen[c] || p.dead[c] {
+		if seen[c] || p.dead[c] || p.full[c] {
 			return false
 		}
 		seen[c] = true
@@ -350,7 +433,7 @@ func (p *UploadPlan) Reliable() bool {
 func (p *UploadPlan) reliableLocked() bool {
 	fair := p.params.FairShare()
 	for _, c := range p.clouds {
-		if p.dead[c] {
+		if p.dead[c] || p.fairExempt[c] {
 			continue
 		}
 		if p.fairUploaded[c] < fair {
@@ -366,7 +449,7 @@ func (p *UploadPlan) reliableLocked() bool {
 func (p *UploadPlan) CloudDone(cloudName string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.dead[cloudName] {
+	if p.dead[cloudName] || p.full[cloudName] {
 		return true
 	}
 	if len(p.fairQueue[cloudName]) > 0 {

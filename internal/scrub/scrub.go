@@ -36,11 +36,14 @@ package scrub
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/chunker"
+	"unidrive/internal/cloud"
 	"unidrive/internal/erasure"
 	"unidrive/internal/journal"
 	"unidrive/internal/meta"
@@ -73,6 +76,22 @@ type Config struct {
 	Fair *transfer.FairScheduler
 	// Tenant names the scrubber's owner to the shared scheduler.
 	Tenant string
+	// Capacity, when non-nil, is the shared quota-exhaustion tracker:
+	// repair re-uploads skip capacity-Full clouds (a repair written to
+	// a full cloud would only bounce), and re-expansion of thin
+	// segments targets clouds with space first.
+	Capacity *capacity.Tracker
+	// Target, when positive, enables thin-segment re-expansion: a
+	// segment committed thin (under-replicated for capacity) is grown
+	// back toward Target distinct blocks — its fair-share placement —
+	// once clouds with space exist, and its thin mark is cleared when
+	// the target is reached. The core layer passes
+	// Params.NormalBlocks().
+	Target int
+	// MaxPerCloud bounds how many of one segment's blocks re-expansion
+	// may stack on a single cloud (the placement reliability bound);
+	// 0 means unbounded.
+	MaxPerCloud int
 	// RatePerSec caps verification fetches per second across all
 	// clouds; 0 disables pacing.
 	RatePerSec float64
@@ -106,8 +125,24 @@ type Report struct {
 	// verified and had stamps committed this cycle.
 	Backfilled int
 	// Unrepairable lists segments with damage the cycle could not
-	// repair (fewer than K verified copies reachable).
+	// repair (fewer than K verified copies reachable) — data loss
+	// territory.
 	Unrepairable []string
+	// UnrepairableCapacity lists segments whose content is intact and
+	// reconstructible but whose repairs (or re-expansion) could not be
+	// placed because every eligible cloud is out of quota. Distinct
+	// from Unrepairable: nothing is lost, the write is merely deferred
+	// until capacity returns.
+	UnrepairableCapacity []string
+	// ThinSegments counts segments walked that are committed thin
+	// (under-replicated for capacity).
+	ThinSegments int
+	// ReexpandedBlocks counts blocks uploaded by thin-segment
+	// re-expansion this cycle.
+	ReexpandedBlocks int
+	// ThinCleared counts thin segments that reached their full target
+	// placement this cycle.
+	ThinCleared int
 	// UnknownClouds lists clouds whose block listing failed; their
 	// copies were skipped, not presumed missing.
 	UnknownClouds []string
@@ -212,6 +247,22 @@ func (s *Scrubber) Cycle(ctx context.Context, repair bool) (*Report, error) {
 
 	var changes []*meta.Change
 	var intended map[string]map[int]string // journaled repair targets
+	// ensureIntent journals the cycle's repair intent once, before the
+	// first block (repair or re-expansion) leaves this device.
+	ensureIntent := func() error {
+		if s.cfg.Journal == nil || intended != nil {
+			return nil
+		}
+		intended = make(map[string]map[int]string)
+		in := &journal.Intent{
+			ID: s.intentID(), Kind: journal.KindRepair,
+			Device: s.cfg.Device, CreatedAt: s.cfg.Clock.Now(),
+		}
+		if err := s.cfg.Journal.Begin(in); err != nil {
+			return fmt.Errorf("scrub: journaling repair intent: %w", err)
+		}
+		return nil
+	}
 	ids := make([]string, 0, img.NumSegments())
 	for id := range img.AllSegments() {
 		ids = append(ids, id)
@@ -230,8 +281,13 @@ func (s *Scrubber) Cycle(ctx context.Context, repair bool) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		if seg.Thin {
+			rep.ThinSegments++
+			s.reg.Counter("scrub.thin_segments").Inc()
+		}
+		expand := repair && seg.Thin && s.cfg.Target > 0
 		damaged := len(d.missing) + len(d.corrupt)
-		needsData := len(d.suspect) > 0 || (repair && damaged > 0)
+		needsData := len(d.suspect) > 0 || (repair && damaged > 0) || expand
 		if !needsData {
 			continue
 		}
@@ -253,23 +309,27 @@ func (s *Scrubber) Cycle(ctx context.Context, repair bool) (*Report, error) {
 			erasure.PutBuffer(data)
 			continue
 		}
-		if damaged > 0 && s.cfg.Journal != nil && intended == nil {
-			// First repair of the cycle: journal the intent before any
-			// block leaves this device.
-			intended = make(map[string]map[int]string)
-			in := &journal.Intent{
-				ID: s.intentID(), Kind: journal.KindRepair,
-				Device: s.cfg.Device, CreatedAt: s.cfg.Clock.Now(),
-			}
-			if err := s.cfg.Journal.Begin(in); err != nil {
+		if damaged > 0 || expand {
+			if err := ensureIntent(); err != nil {
 				erasure.PutBuffer(data)
-				return nil, fmt.Errorf("scrub: journaling repair intent: %w", err)
+				return nil, err
 			}
 		}
-		change, err := s.repairSegment(ctx, seg, d, data, unknown, intended, rep)
+		change, capBlocked, err := s.repairSegment(ctx, seg, d, data, unknown, intended, rep)
+		if err == nil && expand {
+			var expBlocked bool
+			change, expBlocked, err = s.expandThin(ctx, seg, data, unknown, intended, rep, change)
+			capBlocked = capBlocked || expBlocked
+		}
 		erasure.PutBuffer(data)
 		if err != nil {
 			return nil, err
+		}
+		if capBlocked {
+			// Intact but unplaceable: every eligible cloud is out of
+			// quota. Deferred, not lost — distinct from Unrepairable.
+			rep.UnrepairableCapacity = append(rep.UnrepairableCapacity, segID)
+			s.reg.Counter("scrub.capacity_blocked_segments").Inc()
 		}
 		if change != nil {
 			changes = append(changes, change)
@@ -485,21 +545,24 @@ func (s *Scrubber) settleSuspects(d *segDamage, data []byte, rep *Report) {
 // repairSegment re-encodes and re-uploads every damaged copy and
 // returns the relocate change carrying the refreshed placement (nil
 // when nothing changed). Replacement copies go to the damaged copy's
-// own cloud when reachable — an idempotent overwrite of the committed
-// path — falling back to the reachable cloud holding the fewest of
-// this segment's blocks.
+// own cloud when reachable and not out of quota — an idempotent
+// overwrite of the committed path — falling back to the reachable
+// cloud with space holding the fewest of this segment's blocks. The
+// second result reports a copy left unrepaired purely for capacity:
+// every eligible destination was quota-full.
 func (s *Scrubber) repairSegment(ctx context.Context, seg *meta.Segment, d *segDamage,
-	data []byte, unknown map[string]bool, intended map[string]map[int]string, rep *Report) (*meta.Change, error) {
+	data []byte, unknown map[string]bool, intended map[string]map[int]string, rep *Report) (*meta.Change, bool, error) {
 
+	capBlocked := false
 	damaged := append(append([]meta.BlockLocation(nil), d.missing...), d.corrupt...)
 	if len(damaged) == 0 && len(d.backfill) == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
 	moves := make(map[locKey]meta.BlockLocation) // damaged copy -> replacement
 	if len(damaged) > 0 {
 		coder, err := s.coder(seg.K, seg.N)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		sh := coder.Split(data)
 		payload := erasure.GetBuffer(sh.ShardSize())
@@ -513,20 +576,28 @@ func (s *Scrubber) repairSegment(ctx context.Context, seg *meta.Segment, d *segD
 			coder.EncodeBlocksInto(sh, []int{loc.BlockID}, dst)
 			sum := meta.BlockSum(payload)
 			placed := ""
-			for _, target := range s.repairCandidates(seg, loc, unknown) {
+			cands, dropped := s.repairCandidates(seg, loc, unknown)
+			quotaHit := false
+			for _, target := range cands {
 				// Journal the attempt before the block leaves this
 				// device; a crash mid-upload must leave a record of
 				// where an orphan could sit.
 				if err := s.journalTarget(intended, seg.ID, loc.BlockID, target); err != nil {
 					erasure.PutBuffer(payload)
 					sh.Release()
-					return nil, err
+					return nil, false, err
 				}
 				if err := s.putPaced(ctx, target, seg.ID, loc.BlockID, payload); err != nil {
 					if ctx.Err() != nil {
 						erasure.PutBuffer(payload)
 						sh.Release()
-						return nil, ctx.Err()
+						return nil, false, ctx.Err()
+					}
+					if errors.Is(err, cloud.ErrQuotaExceeded) {
+						// The tracker learned of this rejection through
+						// the engine's wrapped cloud; for this cycle just
+						// note the capacity miss and move on.
+						quotaHit = true
 					}
 					s.reg.Counter("scrub.repair_failed").Inc()
 					continue
@@ -535,6 +606,9 @@ func (s *Scrubber) repairSegment(ctx context.Context, seg *meta.Segment, d *segD
 				break
 			}
 			if placed == "" {
+				if dropped || quotaHit {
+					capBlocked = true
+				}
 				continue
 			}
 			rep.RepairedBlocks++
@@ -546,7 +620,7 @@ func (s *Scrubber) repairSegment(ctx context.Context, seg *meta.Segment, d *segD
 		sh.Release()
 	}
 	if len(moves) == 0 && len(d.backfill) == 0 {
-		return nil, nil
+		return nil, capBlocked, nil
 	}
 
 	updated := seg.Clone()
@@ -564,15 +638,144 @@ func (s *Scrubber) repairSegment(ctx context.Context, seg *meta.Segment, d *segD
 	return &meta.Change{
 		Type: meta.ChangeRelocate, Path: seg.ID,
 		Segments: []*meta.Segment{updated}, Time: time.Time{},
-	}, nil
+	}, capBlocked, nil
+}
+
+// expandThin grows a thin (under-replicated) segment back toward the
+// Target placement: missing block IDs, lowest first, are re-encoded
+// from the verified content and uploaded to clouds with space, within
+// the per-cloud bound; the thin mark is cleared once the target holds.
+// It extends change — the segment's repair relocate, when one exists —
+// or creates a fresh one. The bool result reports a capacity block:
+// the target could not be reached because eligible clouds are full.
+func (s *Scrubber) expandThin(ctx context.Context, seg *meta.Segment, data []byte,
+	unknown map[string]bool, intended map[string]map[int]string, rep *Report,
+	change *meta.Change) (*meta.Change, bool, error) {
+
+	var base *meta.Segment
+	if change != nil {
+		base = change.Segments[0]
+	} else {
+		base = seg.Clone()
+	}
+	target := s.cfg.Target
+	if target > seg.N {
+		target = seg.N
+	}
+	placed := make(map[int]bool, len(base.Blocks))
+	perCloud := make(map[string]int)
+	for _, b := range base.Blocks {
+		placed[b.BlockID] = true
+		perCloud[b.CloudID]++
+	}
+	// Eligible targets: reachable clouds with space, fewest of this
+	// segment's blocks first (Probing clouds ordered last by the
+	// capacity tracker — a probe is the last resort).
+	var cands []string
+	for _, name := range s.cfg.Engine.CloudNames() {
+		if !unknown[name] {
+			cands = append(cands, name)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if perCloud[cands[i]] != perCloud[cands[j]] {
+			return perCloud[cands[i]] < perCloud[cands[j]]
+		}
+		return cands[i] < cands[j]
+	})
+	cands = s.cfg.Capacity.WithSpace(cands)
+
+	added := 0
+	if len(placed) < target && len(cands) > 0 {
+		coder, err := s.coder(seg.K, seg.N)
+		if err != nil {
+			return change, false, err
+		}
+		sh := coder.Split(data)
+		payload := erasure.GetBuffer(sh.ShardSize())
+		dst := [][]byte{payload}
+		full := make(map[string]bool) // quota hits within this cycle
+		for blockID := 0; blockID < seg.N && len(placed) < target; blockID++ {
+			if placed[blockID] {
+				continue
+			}
+			coder.EncodeBlocksInto(sh, []int{blockID}, dst)
+			sum := meta.BlockSum(payload)
+			landed := ""
+			for _, name := range cands {
+				if full[name] {
+					continue
+				}
+				if s.cfg.MaxPerCloud > 0 && perCloud[name] >= s.cfg.MaxPerCloud {
+					continue
+				}
+				if err := s.journalTarget(intended, seg.ID, blockID, name); err != nil {
+					erasure.PutBuffer(payload)
+					sh.Release()
+					return nil, false, err
+				}
+				if err := s.putPaced(ctx, name, seg.ID, blockID, payload); err != nil {
+					if ctx.Err() != nil {
+						erasure.PutBuffer(payload)
+						sh.Release()
+						return nil, false, ctx.Err()
+					}
+					if errors.Is(err, cloud.ErrQuotaExceeded) {
+						full[name] = true
+					} else {
+						s.reg.Counter("scrub.repair_failed").Inc()
+					}
+					continue
+				}
+				landed = name
+				break
+			}
+			if landed == "" {
+				continue
+			}
+			base.AddBlockSum(blockID, landed, sum)
+			placed[blockID] = true
+			perCloud[landed]++
+			added++
+			rep.ReexpandedBlocks++
+			s.reg.Counter("scrub.reexpanded_blocks").Inc()
+		}
+		erasure.PutBuffer(payload)
+		sh.Release()
+	}
+
+	cleared := false
+	blocked := false
+	if len(placed) >= target {
+		if base.Thin {
+			base.Thin = false
+			cleared = true
+			rep.ThinCleared++
+			s.reg.Counter("scrub.thin_cleared").Inc()
+		}
+	} else {
+		blocked = true
+	}
+	if added == 0 && !cleared {
+		return change, blocked, nil
+	}
+	if change != nil {
+		return change, blocked, nil // base aliases change's segment
+	}
+	return &meta.Change{
+		Type: meta.ChangeRelocate, Path: seg.ID,
+		Segments: []*meta.Segment{base}, Time: time.Time{},
+	}, blocked, nil
 }
 
 // repairCandidates orders the destination clouds for one damaged
-// copy: its own cloud first when reachable (the repair is then an
-// idempotent overwrite of the committed path), then the remaining
-// reachable clouds by fewest of this segment's blocks — the same
-// spread-for-reliability tiebreak the upload planner uses.
-func (s *Scrubber) repairCandidates(seg *meta.Segment, loc meta.BlockLocation, unknown map[string]bool) []string {
+// copy: its own cloud first when reachable and not out of quota (the
+// repair is then an idempotent overwrite of the committed path), then
+// the remaining reachable clouds with space by fewest of this
+// segment's blocks — the same spread-for-reliability tiebreak the
+// upload planner uses. The bool result reports that at least one
+// otherwise-eligible cloud was skipped for capacity.
+func (s *Scrubber) repairCandidates(seg *meta.Segment, loc meta.BlockLocation, unknown map[string]bool) ([]string, bool) {
 	perCloud := make(map[string]int)
 	for _, b := range seg.Blocks {
 		perCloud[b.CloudID]++
@@ -589,10 +792,18 @@ func (s *Scrubber) repairCandidates(seg *meta.Segment, loc meta.BlockLocation, u
 		}
 		return rest[i] < rest[j]
 	})
+	before := len(rest)
+	rest = s.cfg.Capacity.WithSpace(rest)
+	dropped := len(rest) < before
 	if unknown[loc.CloudID] {
-		return rest
+		return rest, dropped
 	}
-	return append([]string{loc.CloudID}, rest...)
+	if !s.cfg.Capacity.Admits(loc.CloudID) {
+		// A quota-full cloud still HOLDS its copies fine — it just
+		// cannot take the repair write.
+		return rest, true
+	}
+	return append([]string{loc.CloudID}, rest...), dropped
 }
 
 // journalTarget records one intended repair placement in the cycle's

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"unidrive/internal/capacity"
 	"unidrive/internal/cloud"
 	"unidrive/internal/health"
 	"unidrive/internal/meta"
@@ -65,6 +66,14 @@ type Config struct {
 	// uploads fail over their queued blocks to healthy clouds, and
 	// downloads treat them as dead for the batch.
 	Health *health.Tracker
+	// Capacity, when non-nil, gates UPLOAD dispatch on per-cloud quota
+	// state: clouds the tracker reports Full receive no new blocks
+	// (their queued blocks re-plan onto clouds with space, within the
+	// placement bound), and an ErrQuotaExceeded result is classified
+	// as a placement failure — re-plan, never retry, never breaker
+	// evidence. Downloads are unaffected: a full cloud still serves
+	// every read. nil disables capacity gating.
+	Capacity *capacity.Tracker
 	// HedgeQuantile is the latency quantile of the observed download
 	// block histogram past which an in-flight download counts as a
 	// straggler and earns a duplicate (hedged) request on a spare
@@ -190,10 +199,14 @@ type result struct {
 // dispatcher tracks idle connection slots, consecutive failures, and
 // which clouds this batch has written off.
 type dispatcher struct {
-	e       *Engine
-	idle    map[string]int
-	streak  map[string]int
-	dead    map[string]bool
+	e      *Engine
+	idle   map[string]int
+	streak map[string]int
+	dead   map[string]bool
+	// full marks clouds written off for UPLOADS this batch because
+	// their quota is exhausted; unlike dead they still serve download
+	// batches (and everything else) normally.
+	full    map[string]bool
 	active  int
 	results chan result
 	// fairDenied records that the last dispatch pass was refused a
@@ -209,6 +222,7 @@ func (e *Engine) newDispatcher() *dispatcher {
 		idle:    make(map[string]int, len(e.names)),
 		streak:  make(map[string]int, len(e.names)),
 		dead:    make(map[string]bool, len(e.names)),
+		full:    make(map[string]bool, len(e.names)),
 		results: make(chan result),
 	}
 	for _, n := range e.names {
@@ -291,6 +305,13 @@ func (e *Engine) retryPolicy() cloud.RetryPolicy {
 // traffic to the cloud.
 func (e *Engine) admits(name string) bool {
 	return e.cfg.Health == nil || e.cfg.Health.Admits(name)
+}
+
+// admitsUploads reports whether the capacity tracker (if any)
+// currently admits NEW upload work to the cloud. Downloads never
+// consult it. (A nil *capacity.Tracker admits everything.)
+func (e *Engine) admitsUploads(name string) bool {
+	return e.cfg.Capacity.Admits(name)
 }
 
 // markOutcome updates failure streaks; it returns true when the cloud
@@ -378,9 +399,35 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 	}
 	requeueItem := func(item int) {
 		for _, name := range e.names {
-			if !d.dead[name] {
+			if !d.dead[name] && !d.full[name] {
 				pending[name] = append(pending[name], item)
 			}
+		}
+	}
+	// liveTargets lists the clouds still eligible for re-planned
+	// upload work, ranked healthiest-first and with quota-full clouds
+	// filtered out (Probing ones last — a probe is a last resort).
+	liveTargets := func(except string) []string {
+		live := make([]string, 0, len(e.names))
+		for _, n := range e.names {
+			if n != except && !d.dead[n] && !d.full[n] && e.admits(n) {
+				live = append(live, n)
+			}
+		}
+		if e.cfg.Health != nil {
+			live = e.cfg.Health.Healthiest(live)
+		}
+		return e.cfg.Capacity.WithSpace(live)
+	}
+	// requeueOn makes every item findable again on the given clouds'
+	// queues after blocks were re-planned onto them.
+	requeueOn := func(targets []string) {
+		for _, n := range targets {
+			q := pending[n]
+			for i := range items {
+				q = append(q, i)
+			}
+			pending[n] = q
 		}
 	}
 	// failover is the mid-transfer failover path: the cloud is written
@@ -392,16 +439,7 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 			return
 		}
 		d.dead[name] = true
-		live := make([]string, 0, len(e.names))
-		for _, n := range e.names {
-			if n != name && !d.dead[n] && e.admits(n) {
-				live = append(live, n)
-			}
-		}
-		ranked := live
-		if e.cfg.Health != nil {
-			ranked = e.cfg.Health.Healthiest(live)
-		}
+		ranked := liveTargets(name)
 		moved := 0
 		for _, it := range items {
 			moved += it.Plan.MarkDeadAndReassign(name, ranked)
@@ -410,13 +448,28 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 			reg.Counter("transfer.up.failover_blocks").Add(int64(moved))
 			// The moved blocks landed on live clouds' queues; their
 			// items must be findable there again.
-			for _, n := range ranked {
-				q := pending[n]
-				for i := range items {
-					q = append(q, i)
-				}
-				pending[n] = q
-			}
+			requeueOn(ranked)
+		}
+	}
+	// markFull is the quota-exhaustion analogue of failover: the cloud
+	// stops receiving new upload work for this batch and each plan's
+	// still-queued normal blocks re-plan onto clouds with space —
+	// but the cloud is NOT dead: concurrent download batches, lists
+	// and lock traffic keep using it.
+	markFull := func(name string) {
+		if d.full[name] || d.dead[name] {
+			return
+		}
+		d.full[name] = true
+		reg.Counter("transfer.clouds_marked_full").Inc()
+		ranked := liveTargets(name)
+		moved := 0
+		for _, it := range items {
+			moved += it.Plan.MarkFullAndReassign(name, ranked)
+		}
+		if moved > 0 {
+			reg.Counter("transfer.up.quota_blocks").Add(int64(moved))
+			requeueOn(ranked)
 		}
 	}
 	dispatch := func() {
@@ -426,7 +479,7 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		// Fastest clouds get first pick of the work (and of the
 		// over-provisioned extras).
 		for _, name := range e.prober.Rank(e.names, sched.Up) {
-			if d.dead[name] {
+			if d.dead[name] || d.full[name] {
 				continue
 			}
 			if !e.admits(name) {
@@ -434,6 +487,15 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 				// instead of queuing work it would only reject.
 				reg.Counter("transfer.up.breaker_routed").Inc()
 				failover(name)
+				continue
+			}
+			if !e.admitsUploads(name) {
+				// The capacity tracker already knows this cloud is full
+				// (an earlier batch, or another subsystem, hit its
+				// quota): route its blocks to clouds with space instead
+				// of queuing uploads it would only reject.
+				reg.Counter("transfer.up.quota_routed").Inc()
+				markFull(name)
 				continue
 			}
 			for d.idle[name] > 0 {
@@ -509,23 +571,40 @@ func (e *Engine) UploadBatch(ctx context.Context, items []UploadItem, stop func(
 		plan := items[r.item].Plan
 		if r.err != nil {
 			reg.Counter("transfer.up.blocks_failed").Inc()
-			if d.markOutcome(r.cloudName, r.err) {
-				// Write the cloud off first so Fail reroutes the failed
-				// block to a live cloud instead of requeueing it on the
-				// dead one.
-				reg.Counter("transfer.clouds_marked_dead").Inc()
-				failover(r.cloudName)
+			if errors.Is(r.err, cloud.ErrQuotaExceeded) {
+				// Quota exhaustion is a PLACEMENT failure, not a health
+				// failure: the provider answered promptly and correctly —
+				// it is merely out of space. Re-plan the cloud's blocks
+				// elsewhere; no retry (cloud.Retry already bailed), no
+				// dead streak, no breaker evidence, no prober penalty.
+				reg.Counter("transfer.up.quota_rejected_blocks").Inc()
+				markFull(r.cloudName)
+				if d.full[r.cloudName] {
+					// Fail below reroutes this in-flight block onto a
+					// cloud with space — a quota move too.
+					reg.Counter("transfer.up.quota_blocks").Inc()
+				}
+				plan.Fail(r.cloudName, r.blockID)
+				requeueItem(r.item)
+			} else {
+				if d.markOutcome(r.cloudName, r.err) {
+					// Write the cloud off first so Fail reroutes the failed
+					// block to a live cloud instead of requeueing it on the
+					// dead one.
+					reg.Counter("transfer.clouds_marked_dead").Inc()
+					failover(r.cloudName)
+				}
+				if d.dead[r.cloudName] {
+					// Fail on a dead cloud reroutes the in-flight block onto
+					// a live queue — that is a failover move too.
+					reg.Counter("transfer.up.failover_blocks").Inc()
+				}
+				plan.Fail(r.cloudName, r.blockID)
+				// Fail re-routes the block onto some live cloud's queue;
+				// make the item findable there again.
+				requeueItem(r.item)
+				e.prober.ObserveFailure(r.cloudName, sched.Up)
 			}
-			if d.dead[r.cloudName] {
-				// Fail on a dead cloud reroutes the in-flight block onto
-				// a live queue — that is a failover move too.
-				reg.Counter("transfer.up.failover_blocks").Inc()
-			}
-			plan.Fail(r.cloudName, r.blockID)
-			// Fail re-routes the block onto some live cloud's queue;
-			// make the item findable there again.
-			requeueItem(r.item)
-			e.prober.ObserveFailure(r.cloudName, sched.Up)
 		} else {
 			reg.Counter("transfer.up.blocks").Inc()
 			reg.Counter("transfer.up.bytes").Add(r.size)

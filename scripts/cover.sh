@@ -8,6 +8,7 @@
 #   localfs >= COVER_LOCALFS_MIN (and the scanner/watcher layer)
 #   daemon  >= COVER_DAEMON_MIN (and the multi-tenant host)
 #   scrub   >= COVER_SCRUB_MIN (and the anti-entropy scrubber)
+#   capacity >= COVER_CAPACITY_MIN (and the quota-exhaustion tracker)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,7 @@ JOURNAL_MIN="${COVER_JOURNAL_MIN:-85.0}"
 LOCALFS_MIN="${COVER_LOCALFS_MIN:-85.0}"
 DAEMON_MIN="${COVER_DAEMON_MIN:-85.0}"
 SCRUB_MIN="${COVER_SCRUB_MIN:-85.0}"
+CAPACITY_MIN="${COVER_CAPACITY_MIN:-85.0}"
 PROFILE="${COVER_PROFILE:-/tmp/unidrive-cover.out}"
 
 echo "== go test -coverprofile (all packages)"
@@ -65,6 +67,10 @@ scrub_profile="${PROFILE}.scrub"
 { head -n 1 "$PROFILE"; grep '^unidrive/internal/scrub/' "$PROFILE" || true; } > "$scrub_profile"
 scrub=$(go tool cover -func="$scrub_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
 
+capacity_profile="${PROFILE}.capacity"
+{ head -n 1 "$PROFILE"; grep '^unidrive/internal/capacity/' "$PROFILE" || true; } > "$capacity_profile"
+capacity=$(go tool cover -func="$capacity_profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+
 echo "total coverage: ${total}% (baseline ${BASELINE}%)"
 echo "internal/obs coverage: ${obs}% (minimum ${OBS_MIN}%)"
 echo "internal/health coverage: ${health}% (minimum ${HEALTH_MIN}%)"
@@ -72,6 +78,7 @@ echo "internal/journal coverage: ${journal}% (minimum ${JOURNAL_MIN}%)"
 echo "internal/localfs coverage: ${localfs}% (minimum ${LOCALFS_MIN}%)"
 echo "internal/daemon coverage: ${daemon}% (minimum ${DAEMON_MIN}%)"
 echo "internal/scrub coverage: ${scrub}% (minimum ${SCRUB_MIN}%)"
+echo "internal/capacity coverage: ${capacity}% (minimum ${CAPACITY_MIN}%)"
 
 fail=0
 if awk "BEGIN { exit !($total < $BASELINE) }"; then
@@ -100,6 +107,10 @@ if awk "BEGIN { exit !($daemon < $DAEMON_MIN) }"; then
 fi
 if awk "BEGIN { exit !($scrub < $SCRUB_MIN) }"; then
 	echo "FAIL: internal/scrub coverage ${scrub}% is below the ${SCRUB_MIN}% bar" >&2
+	fail=1
+fi
+if awk "BEGIN { exit !($capacity < $CAPACITY_MIN) }"; then
+	echo "FAIL: internal/capacity coverage ${capacity}% is below the ${CAPACITY_MIN}% bar" >&2
 	fail=1
 fi
 exit $fail
